@@ -1,0 +1,52 @@
+"""Ablation bench: contribution of each PDW technique.
+
+Quantifies the three Section II contributions separately — necessity
+analysis (II-A), removal integration (II-B), path/operation sharing and
+optimized time windows (II-C) — by disabling one at a time on a small,
+medium and synthetic benchmark.
+
+Run with::
+
+    pytest benchmarks/bench_ablation.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PDWConfig
+from repro.experiments.ablation import (
+    DEFAULT_ABLATION_BENCHMARKS,
+    ablation_report,
+    run_ablation,
+)
+
+_CFG = PDWConfig(time_limit_s=60.0)
+
+
+@pytest.mark.parametrize("name", DEFAULT_ABLATION_BENCHMARKS)
+def test_ablation_benchmark(benchmark, name):
+    plans = benchmark.pedantic(
+        lambda: run_ablation(name, _CFG), rounds=1, iterations=1
+    )
+    full = plans["full"]
+    # Disabling necessity analysis can only add washes.
+    assert full.n_wash <= plans["no-necessity"].n_wash
+    # Disabling merging can only add washes.
+    assert full.n_wash <= plans["no-merge"].n_wash
+    # Eager washes can only delay the assay further.
+    assert full.t_assay <= plans["eager"].t_assay
+    # The no-integration variant folds nothing.
+    assert plans["no-integration"].integrated_removals == 0
+    benchmark.extra_info.update(
+        {variant: plan.metrics() for variant, plan in plans.items()}
+    )
+
+
+def test_ablation_report(benchmark, capsys):
+    text = benchmark.pedantic(
+        lambda: ablation_report(base=_CFG), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrate components.
+
+These measure the building blocks the paper's runtime depends on — ILP
+solving, routing, synthesis, contamination analysis — with proper
+multi-round statistics (unlike the one-shot pipeline benches).
+
+Run with::
+
+    pytest benchmarks/bench_components.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Router, figure2_chip
+from repro.bench import benchmark as bench_spec
+from repro.bench import load_benchmark
+from repro.contam import ContaminationTracker, wash_requirements
+from repro.core.path_ilp import exact_wash_path
+from repro.ilp import BranchAndBoundSolver, LinExpr, Model
+from repro.synth import synthesize
+
+
+def knapsack_model(n=12):
+    m = Model("knapsack")
+    xs = [m.add_binary_var(f"x{i}") for i in range(n)]
+    weights = [(7 * i) % 13 + 1 for i in range(n)]
+    values = [(5 * i) % 11 + 1 for i in range(n)]
+    m.add_constr(LinExpr.sum(w * x for w, x in zip(weights, xs)) <= 3 * n)
+    m.set_objective(LinExpr.sum(v * x for v, x in zip(values, xs)), sense="max")
+    return m
+
+
+class TestIlpBenchmarks:
+    def test_highs_knapsack(self, benchmark):
+        result = benchmark(lambda: knapsack_model().solve())
+        assert result.status.has_solution
+
+    def test_branch_and_bound_knapsack(self, benchmark):
+        solver = BranchAndBoundSolver(time_limit_s=30)
+        result = benchmark(lambda: solver(knapsack_model(8)))
+        assert result.status.has_solution
+
+    def test_exact_wash_path_ilp(self, benchmark):
+        chip = figure2_chip()
+        path = benchmark(lambda: exact_wash_path(chip, ["s12", "s13", "s16"]))
+        assert len(path) >= 5
+
+
+class TestRoutingBenchmarks:
+    def test_shortest_path(self, benchmark):
+        router = Router(figure2_chip())
+        path = benchmark(lambda: router.shortest_path("in1", "out4"))
+        assert path[0] == "in1"
+
+    def test_covering_path(self, benchmark):
+        router = Router(figure2_chip())
+        path = benchmark(
+            lambda: router.path_through("in4", ["s16", "s12", "s13"], "out4")
+        )
+        assert {"s16", "s12", "s13"} <= set(path)
+
+    def test_candidate_pool(self, benchmark):
+        from repro.core.pathgen import candidate_paths
+
+        chip = figure2_chip()
+        pool = benchmark(lambda: candidate_paths(chip, ["s3", "s4"], 6))
+        assert pool
+
+
+class TestSynthesisBenchmarks:
+    @pytest.mark.parametrize("name", ["PCR", "Kinase-act-2"])
+    def test_synthesis(self, benchmark, name):
+        spec = bench_spec(name)
+        assay = load_benchmark(name)
+        result = benchmark.pedantic(
+            lambda: synthesize(assay, inventory=spec.inventory),
+            rounds=3, iterations=1,
+        )
+        assert result.schedule.makespan > 0
+
+    def test_contamination_analysis(self, benchmark):
+        spec = bench_spec("IVD")
+        synthesis = synthesize(load_benchmark("IVD"), inventory=spec.inventory)
+
+        def analyze():
+            tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
+            return wash_requirements(tracker, synthesis.assay)
+
+        report = benchmark(analyze)
+        assert report.required

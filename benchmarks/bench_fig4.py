@@ -1,0 +1,24 @@
+"""Fig. 4 regeneration bench: average waiting time of biochemical operations.
+
+Run with::
+
+    pytest benchmarks/bench_fig4.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import fig4_report, fig4_series
+from repro.experiments.runner import run_suite
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_fig4_series(benchmark, capsys):
+    runs = run_suite(config=BENCH_CONFIG)
+    series = benchmark.pedantic(lambda: fig4_series(runs), rounds=3, iterations=1)
+    # PDW's optimized time windows keep operations waiting less than
+    # DAWO's sweep-line insertion on every benchmark.
+    for dawo, pdw in zip(series["DAWO"], series["PDW"]):
+        assert pdw <= dawo
+    with capsys.disabled():
+        print()
+        print(fig4_report(config=BENCH_CONFIG))

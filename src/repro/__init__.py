@@ -1,0 +1,97 @@
+"""PathDriver-Wash: path-driven wash optimization for continuous-flow
+lab-on-a-chip biochips.
+
+A from-scratch reproduction of *PathDriver-Wash: A Path-Driven Wash
+Optimization Method for Continuous-Flow Lab-on-a-Chip Systems* (DATE 2024),
+including every substrate the method depends on: a chip architecture model,
+a PathDriver-style synthesis flow, a contamination engine, an ILP modeling
+layer, and the DAWO baseline.
+
+Quickstart
+----------
+>>> from repro import load_benchmark, benchmark, synthesize, optimize_washes
+>>> spec = benchmark("PCR")
+>>> synthesis = synthesize(load_benchmark("PCR"), inventory=spec.inventory)
+>>> plan = optimize_washes(synthesis)
+>>> plan.n_wash >= 1
+True
+
+See ``examples/`` for runnable end-to-end scripts and
+``python -m repro.experiments all`` to regenerate the paper's evaluation.
+"""
+
+from repro.analysis import VolumeModel, chip_cost, compare_plans
+from repro.arch import Chip, ChipBuilder, Device, DeviceKind, Grid, Router, figure2_chip
+from repro.arch.control import ControlLayer
+from repro.arch.io import chip_from_json, chip_to_json
+from repro.assay import Operation, Reagent, SequencingGraph, format_assay, parse_assay
+from repro.baselines import dawo_plan, immediate_wash_plan
+from repro.bench import BENCHMARKS, benchmark, benchmark_names, load_benchmark
+from repro.contam import (
+    ContaminationTracker,
+    NecessityPolicy,
+    contamination_violations,
+    wash_requirements,
+)
+from repro.core import PDWConfig, PathDriverWash, WashPlan, optimize_washes
+from repro.errors import ReproError
+from repro.export import actuation_program, plan_to_json
+from repro.schedule import Schedule, ScheduledTask, TaskKind, render_gantt
+from repro.sim import ScheduleExecutor, simulate_plan
+from repro.synth import ArchSpec, SynthesisResult, synthesize
+from repro.units import PhysicalParameters
+from repro.viz import render_chip
+from repro.viz.svg import render_svg
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchSpec",
+    "BENCHMARKS",
+    "Chip",
+    "ChipBuilder",
+    "ContaminationTracker",
+    "ControlLayer",
+    "Device",
+    "DeviceKind",
+    "Grid",
+    "NecessityPolicy",
+    "Operation",
+    "PDWConfig",
+    "PathDriverWash",
+    "PhysicalParameters",
+    "Reagent",
+    "ReproError",
+    "Router",
+    "Schedule",
+    "ScheduleExecutor",
+    "ScheduledTask",
+    "SequencingGraph",
+    "SynthesisResult",
+    "TaskKind",
+    "VolumeModel",
+    "WashPlan",
+    "actuation_program",
+    "benchmark",
+    "benchmark_names",
+    "chip_cost",
+    "chip_from_json",
+    "chip_to_json",
+    "compare_plans",
+    "contamination_violations",
+    "dawo_plan",
+    "figure2_chip",
+    "format_assay",
+    "immediate_wash_plan",
+    "load_benchmark",
+    "optimize_washes",
+    "parse_assay",
+    "plan_to_json",
+    "render_chip",
+    "render_gantt",
+    "render_svg",
+    "simulate_plan",
+    "synthesize",
+    "wash_requirements",
+    "__version__",
+]

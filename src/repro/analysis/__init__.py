@@ -1,0 +1,15 @@
+"""Cost and consumption analysis of chips and wash plans.
+
+The paper motivates necessity analysis by the "extra cost, e.g., wash paths
+and buffer fluids, introduced by wash"; this package quantifies that cost:
+
+* :mod:`repro.analysis.volumes` — buffer consumed by wash flushes and
+  reagent volume injected, from a channel cross-section model,
+* :mod:`repro.analysis.cost` — chip-level cost report: valves, minimum
+  control ports, channel length, and a side-by-side plan comparison.
+"""
+
+from repro.analysis.volumes import VolumeModel
+from repro.analysis.cost import ChipCostReport, chip_cost, compare_plans
+
+__all__ = ["ChipCostReport", "VolumeModel", "chip_cost", "compare_plans"]

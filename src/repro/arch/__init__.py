@@ -1,0 +1,33 @@
+"""Chip architecture model for continuous-flow LoC biochips.
+
+A chip is modeled as a *flow network*: a graph whose nodes are grid cells of
+the paper's virtual grid ``R`` — channel junctions (the ``s_i`` switches of
+Fig. 2), devices (mixer, heater, detectors, filter, ...), flow ports and
+waste ports.  Edges are channel segments with a physical length.
+
+Two construction routes are provided:
+
+* :class:`~repro.arch.builder.ChipBuilder` — explicit construction used by
+  the Fig. 2 preset (:func:`~repro.arch.presets.figure2_chip`) and by users
+  describing their own chips,
+* the synthesis flow in :mod:`repro.synth`, which places devices on a
+  :class:`~repro.arch.grid.Grid` and routes channels automatically.
+"""
+
+from repro.arch.device import Device, DeviceKind
+from repro.arch.grid import Grid
+from repro.arch.chip import Chip, NodeKind
+from repro.arch.builder import ChipBuilder
+from repro.arch.routing import Router
+from repro.arch.presets import figure2_chip
+
+__all__ = [
+    "Chip",
+    "ChipBuilder",
+    "Device",
+    "DeviceKind",
+    "Grid",
+    "NodeKind",
+    "Router",
+    "figure2_chip",
+]

@@ -1,0 +1,185 @@
+"""The :class:`Chip` flow-network model.
+
+A chip is an undirected graph whose nodes are the cells of the virtual grid
+that carry something: channel junctions (``s_1..s_16`` in Fig. 2), devices,
+flow ports (fluid inlets, the paper's :math:`F_p`) and waste ports (outlets,
+:math:`W_p`).  Edges are channel segments; each has a physical length in mm
+(one grid-cell pitch by default).
+
+Flow paths — for reagent transport, excess/waste removal, and wash — are
+node sequences through this graph, e.g.
+``["in1", "s2", "s3", "s4", "out1"]`` (wash path :math:`w_1` of Table I).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.arch.device import Device, DeviceKind
+from repro.errors import ArchitectureError, RoutingError
+from repro.units import PhysicalParameters, DEFAULT_PARAMETERS
+
+#: A flow path: a sequence of node ids from a source to a sink.
+FlowPath = Tuple[str, ...]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the chip flow network."""
+
+    CHANNEL = "channel"
+    DEVICE = "device"
+    FLOW_PORT = "flow_port"
+    WASTE_PORT = "waste_port"
+
+
+class Chip:
+    """A continuous-flow biochip architecture.
+
+    Build instances through :class:`~repro.arch.builder.ChipBuilder` (or the
+    synthesis flow); the constructor validates the assembled network.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        graph: nx.Graph,
+        devices: Dict[str, Device],
+        flow_ports: Sequence[str],
+        waste_ports: Sequence[str],
+        parameters: PhysicalParameters = DEFAULT_PARAMETERS,
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.devices = dict(devices)
+        self.flow_ports = list(flow_ports)
+        self.waste_ports = list(waste_ports)
+        self.parameters = parameters
+        self._validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.flow_ports:
+            raise ArchitectureError(f"chip {self.name!r} has no flow ports")
+        if not self.waste_ports:
+            raise ArchitectureError(f"chip {self.name!r} has no waste ports")
+        for node in list(self.devices) + self.flow_ports + self.waste_ports:
+            if node not in self.graph:
+                raise ArchitectureError(f"node {node!r} referenced but absent from the network")
+        for name, device in self.devices.items():
+            if name != device.name:
+                raise ArchitectureError(
+                    f"device registered under {name!r} but named {device.name!r}"
+                )
+        kinds = nx.get_node_attributes(self.graph, "kind")
+        missing = [n for n in self.graph.nodes if n not in kinds]
+        if missing:
+            raise ArchitectureError(f"nodes missing 'kind' attribute: {missing[:5]}")
+        if self.graph.number_of_nodes() and not nx.is_connected(self.graph):
+            parts = [len(c) for c in nx.connected_components(self.graph)]
+            raise ArchitectureError(
+                f"chip {self.name!r} flow network is disconnected (components: {parts})"
+            )
+        for port in self.flow_ports + self.waste_ports:
+            if self.graph.degree(port) == 0:
+                raise ArchitectureError(f"port {port!r} is not attached to any channel")
+
+    # -- node queries -----------------------------------------------------
+
+    def kind_of(self, node: str) -> NodeKind:
+        """The :class:`NodeKind` of ``node``."""
+        return self.graph.nodes[node]["kind"]
+
+    def is_port(self, node: str) -> bool:
+        """Whether ``node`` is a flow or waste port."""
+        return self.kind_of(node) in (NodeKind.FLOW_PORT, NodeKind.WASTE_PORT)
+
+    def is_device(self, node: str) -> bool:
+        """Whether ``node`` hosts a device."""
+        return node in self.devices
+
+    def position(self, node: str) -> Optional[Tuple[float, float]]:
+        """Layout coordinates of ``node`` if known (for rendering)."""
+        return self.graph.nodes[node].get("pos")
+
+    def neighbors(self, node: str) -> List[str]:
+        """Adjacent nodes in the flow network (the paper's ``AC`` sets)."""
+        return list(self.graph.neighbors(node))
+
+    def devices_of_kind(self, kind: DeviceKind) -> List[Device]:
+        """All devices of a given kind, in name order."""
+        return sorted(
+            (d for d in self.devices.values() if d.kind is kind),
+            key=lambda d: d.name,
+        )
+
+    @property
+    def channel_nodes(self) -> List[str]:
+        """All plain channel/junction nodes."""
+        return [n for n in self.graph.nodes if self.kind_of(n) is NodeKind.CHANNEL]
+
+    @property
+    def washable_nodes(self) -> List[str]:
+        """Nodes that can hold residue: channels and devices (not ports)."""
+        return [n for n in self.graph.nodes if not self.is_port(n)]
+
+    # -- geometry -------------------------------------------------------------
+
+    def edge_length_mm(self, a: str, b: str) -> float:
+        """Physical length of the channel segment between two adjacent nodes."""
+        data = self.graph.get_edge_data(a, b)
+        if data is None:
+            raise RoutingError(f"no channel segment between {a!r} and {b!r}")
+        return data.get("length_mm", self.parameters.cell_pitch_mm)
+
+    def path_length_mm(self, path: Sequence[str]) -> float:
+        """Total physical length of a flow path (sum of its segments)."""
+        return sum(self.edge_length_mm(a, b) for a, b in zip(path, path[1:]))
+
+    def path_cells(self, path: Sequence[str]) -> int:
+        """Number of segments in a flow path (its cell count analog)."""
+        return max(0, len(path) - 1)
+
+    def check_path(self, path: Sequence[str]) -> FlowPath:
+        """Validate that ``path`` is a walk in the network; return it as a tuple."""
+        if len(path) < 2:
+            raise RoutingError(f"flow path needs at least two nodes, got {list(path)}")
+        for a, b in zip(path, path[1:]):
+            if not self.graph.has_edge(a, b):
+                raise RoutingError(f"path hop {a!r} -> {b!r} is not a channel segment")
+        return tuple(path)
+
+    # -- convenience ----------------------------------------------------------
+
+    def transport_time_s(self, path: Sequence[str]) -> int:
+        """Schedule ticks needed to push a plug along ``path``."""
+        return self.parameters.transport_time_s(self.path_cells(path))
+
+    def wash_time_s(self, path: Sequence[str]) -> int:
+        """Duration of a wash along ``path`` (Eq. 17)."""
+        return self.parameters.wash_time_s(self.path_cells(path))
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary of the architecture."""
+        return {
+            "nodes": self.graph.number_of_nodes(),
+            "edges": self.graph.number_of_edges(),
+            "devices": len(self.devices),
+            "flow_ports": len(self.flow_ports),
+            "waste_ports": len(self.waste_ports),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (
+            f"Chip({self.name!r}, {s['devices']} devices, {s['nodes']} nodes, "
+            f"{s['flow_ports']}+{s['waste_ports']} ports)"
+        )
+
+
+def interior_nodes(path: Iterable[str], chip: Chip) -> List[str]:
+    """Non-port nodes of a flow path — the ones that can be contaminated."""
+    return [n for n in path if not chip.is_port(n)]

@@ -1,0 +1,89 @@
+"""The virtual grid ``R`` of the paper's formulation.
+
+PDW "uses a virtual grid R of size W_G x H_G to represent the chip layout,
+where devices and channels are placed on the cells of R" (Section III).
+:class:`Grid` provides coordinates, bounds checking, 4-neighborhood
+adjacency and Manhattan geometry; the synthesis flow places devices on grid
+cells and routes channels along cell sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import GridError
+
+#: A grid cell, addressed as (x, y) with 0 <= x < width, 0 <= y < height.
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A rectangular virtual grid of unit cells."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise GridError(f"grid must be at least 1x1, got {self.width}x{self.height}")
+
+    # -- membership -------------------------------------------------------
+
+    def contains(self, cell: Cell) -> bool:
+        """Whether ``cell`` lies inside the grid."""
+        x, y = cell
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def require(self, cell: Cell) -> Cell:
+        """Return ``cell`` or raise :class:`GridError` if out of bounds."""
+        if not self.contains(cell):
+            raise GridError(f"cell {cell} outside {self.width}x{self.height} grid")
+        return cell
+
+    # -- geometry -----------------------------------------------------------
+
+    def neighbors(self, cell: Cell) -> List[Cell]:
+        """In-grid 4-neighborhood of ``cell`` (the paper's ``AC_{x,y}``)."""
+        x, y = self.require(cell)
+        candidates = ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1))
+        return [c for c in candidates if self.contains(c)]
+
+    @staticmethod
+    def manhattan(a: Cell, b: Cell) -> int:
+        """Manhattan distance between two cells."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def is_boundary(self, cell: Cell) -> bool:
+        """Whether ``cell`` lies on the grid boundary (where ports may sit)."""
+        x, y = self.require(cell)
+        return x in (0, self.width - 1) or y in (0, self.height - 1)
+
+    # -- iteration ------------------------------------------------------------
+
+    def cells(self) -> Iterator[Cell]:
+        """All cells in row-major order."""
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def boundary_cells(self) -> List[Cell]:
+        """Boundary ring cells in clockwise order starting at (0, 0)."""
+        if self.width == 1:
+            return [(0, y) for y in range(self.height)]
+        if self.height == 1:
+            return [(x, 0) for x in range(self.width)]
+        top = [(x, 0) for x in range(self.width)]
+        right = [(self.width - 1, y) for y in range(1, self.height)]
+        bottom = [(x, self.height - 1) for x in range(self.width - 2, -1, -1)]
+        left = [(0, y) for y in range(self.height - 2, 0, -1)]
+        return top + right + bottom + left
+
+    def __iter__(self) -> Iterator[Cell]:
+        return self.cells()
+
+    @property
+    def size(self) -> int:
+        """Total number of cells."""
+        return self.width * self.height

@@ -1,0 +1,112 @@
+"""Preset architectures — most importantly the paper's Fig. 2 example chip.
+
+The Fig. 2 chip hosts five devices (filter, mixer, heater, two detectors),
+four flow ports (``in1..in4``), four waste ports (``out1..out4``) and
+sixteen channel junctions (``s1..s16``).  Its connectivity is reconstructed
+from the complete flow paths of Table I: every listed transport, removal and
+wash path is a valid walk on the network built here (asserted by the test
+suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.arch.builder import ChipBuilder
+from repro.arch.chip import Chip, FlowPath
+from repro.arch.device import DeviceKind
+from repro.units import PhysicalParameters, DEFAULT_PARAMETERS
+
+#: Connectivity of the Fig. 2 chip, derived from the Table I flow paths.
+_FIGURE2_EDGES: Tuple[Tuple[str, str], ...] = (
+    ("in1", "s1"), ("in1", "s2"),
+    ("s1", "filter"), ("filter", "s2"),
+    ("s1", "out2"), ("s9", "out2"),
+    ("s2", "s3"), ("s3", "s4"), ("s3", "s15"),
+    ("s4", "mixer"), ("mixer", "s5"),
+    ("s4", "out1"), ("s5", "out1"),
+    ("s5", "s6"), ("s6", "s7"),
+    ("in2", "s7"), ("in2", "s8"),
+    ("s7", "det2"), ("det2", "s8"), ("s8", "out3"),
+    ("s15", "s11"), ("s11", "s10"), ("s10", "det1"), ("det1", "s9"),
+    ("in3", "s9"), ("in3", "s10"), ("s11", "out4"),
+    ("s15", "s16"), ("s16", "s12"), ("s16", "s6"),
+    ("s12", "s13"), ("s13", "heater"), ("heater", "s14"),
+    ("s14", "out3"), ("in4", "s14"), ("in4", "s13"), ("s12", "out4"),
+)
+
+#: Display coordinates (decorative; used only by the ASCII renderer).
+_FIGURE2_POSITIONS: Dict[str, Tuple[float, float]] = {
+    "out2": (0, 0), "s1": (1, 1), "filter": (2, 1), "in1": (0, 2),
+    "s2": (1, 3), "s3": (2, 3), "s4": (3, 3), "mixer": (4, 3), "s5": (5, 3),
+    "out1": (4, 4), "s6": (5, 2), "s7": (5, 1), "det2": (6, 1),
+    "in2": (7, 0), "s8": (7, 1), "out3": (8, 2),
+    "s15": (2, 4), "s16": (3, 4), "s11": (2, 5), "s10": (2, 6),
+    "det1": (1, 6), "s9": (0, 6), "in3": (0, 5), "out4": (3, 6),
+    "s12": (4, 5), "s13": (5, 5), "heater": (6, 5), "s14": (7, 5),
+    "in4": (6, 6),
+}
+
+_FIGURE2_DEVICES: Tuple[Tuple[str, DeviceKind], ...] = (
+    ("filter", DeviceKind.FILTER),
+    ("mixer", DeviceKind.MIXER),
+    ("heater", DeviceKind.HEATER),
+    ("det1", DeviceKind.DETECTOR),
+    ("det2", DeviceKind.DETECTOR),
+)
+
+
+def figure2_chip(parameters: PhysicalParameters = DEFAULT_PARAMETERS) -> Chip:
+    """Build the paper's Fig. 2 example chip."""
+    builder = ChipBuilder("figure2", parameters)
+    for i in range(1, 5):
+        builder.add_flow_port(f"in{i}", pos=_FIGURE2_POSITIONS[f"in{i}"])
+    for i in range(1, 5):
+        builder.add_waste_port(f"out{i}", pos=_FIGURE2_POSITIONS[f"out{i}"])
+    for name, kind in _FIGURE2_DEVICES:
+        builder.add_device(name, kind, pos=_FIGURE2_POSITIONS[name])
+    for i in range(1, 17):
+        name = f"s{i}"
+        builder.add_junction(name, pos=_FIGURE2_POSITIONS[name])
+    for a, b in _FIGURE2_EDGES:
+        builder.add_channel(a, b)
+    return builder.build()
+
+
+def _p(spec: str) -> FlowPath:
+    return tuple(spec.split())
+
+
+#: The complete flow paths of Table I.  Transport paths #1-#9 and wash paths
+#: w1-w3 are verbatim; the excess-removal rows *2/*3 are partially garbled in
+#: the source scan and reconstructed per Section II-B (see DESIGN.md).
+FIGURE2_FLOW_PATHS: Dict[str, FlowPath] = {
+    "#1": _p("in1 s2 filter s1 out2"),
+    "#2": _p("in2 s7 s6 s5 mixer s4 out1"),
+    "#3": _p("in1 s1 filter s2 s3 s4 mixer s5 out1"),
+    "#4": _p("in1 s1 filter s2 s3 s15 s11 s10 det1 s9 out2"),
+    "#5": _p("in1 s2 s3 s4 mixer s5 s6 s7 det2 s8 out3"),
+    "#6": _p("in3 s9 det1 s10 s11 s15 s16 s12 s13 heater s14 out3"),
+    "#7": _p("in3 s9 det1 s10 s11 s15 s3 s4 mixer s5 out1"),
+    "#8": _p("in2 s8 det2 s7 s6 s5 mixer s4 out1"),
+    "#9": _p("in4 s14 heater s13 s12 s16 s6 s5 mixer s4 out1"),
+    "*1a": _p("in1 s1 out2"),
+    "*1b": _p("in1 s2 s3 s4 out1"),
+    "*2a": _p("in1 s2 s3 s4 out1"),
+    "*2b": _p("in2 s7 s6 s5 out1"),
+    "*4a": _p("in3 s9 out2"),
+    "*4b": _p("in3 s10 s11 out4"),
+    "*5a": _p("in2 s8 out3"),
+    "*5b": _p("in2 s7 s6 s5 out1"),
+    "*6a": _p("in4 s14 out3"),
+    "*6b": _p("in4 s13 s12 out4"),
+    "$1": _p("in2 s7 s6 s5 mixer s4 out1"),
+    "w1": _p("in1 s2 s3 s4 out1"),
+    "w2": _p("in2 s7 s6 s5 out1"),
+    "w3": _p("in4 s13 s12 s16 s15 s11 out4"),
+}
+
+
+def figure2_transport_paths() -> List[FlowPath]:
+    """The nine numbered transport paths of Table I, in order."""
+    return [FIGURE2_FLOW_PATHS[f"#{i}"] for i in range(1, 10)]

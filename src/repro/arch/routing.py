@@ -1,0 +1,311 @@
+"""Routing over a chip's flow network.
+
+All flow paths — reagent transport, excess/waste removal, and the wash paths
+of both PDW and the DAWO baseline — are computed here.  The router wraps
+networkx shortest-path machinery with chip-specific concerns: physical edge
+lengths, node avoidance, multi-waypoint paths, and port selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.arch.chip import Chip, FlowPath
+from repro.errors import RoutingError
+
+
+def is_simple(path: Sequence[str]) -> bool:
+    """Whether a flow path visits every node at most once."""
+    return len(set(path)) == len(path)
+
+
+class Router:
+    """Shortest-path router over a :class:`~repro.arch.chip.Chip`."""
+
+    def __init__(self, chip: Chip):
+        self.chip = chip
+
+    # -- basic shortest paths ------------------------------------------------
+
+    def _subgraph(self, avoid: Optional[Iterable[str]], keep: Sequence[str]) -> nx.Graph:
+        """Working graph for one routing query.
+
+        Ports other than the endpoints are always banned: a flow cannot
+        transit an inlet or outlet — fluid would leave the chip there.
+        """
+        banned = set(avoid) if avoid else set()
+        banned.update(self.chip.flow_ports)
+        banned.update(self.chip.waste_ports)
+        banned -= set(keep)
+        if not banned:
+            return self.chip.graph
+        return self.chip.graph.subgraph(n for n in self.chip.graph if n not in banned)
+
+    def shortest_path(
+        self,
+        src: str,
+        dst: str,
+        avoid: Optional[Iterable[str]] = None,
+    ) -> FlowPath:
+        """Shortest (physical length) path from ``src`` to ``dst``.
+
+        ``avoid`` removes nodes from consideration (except the endpoints),
+        modeling channels occupied by concurrent fluids.
+        """
+        graph = self._subgraph(avoid, (src, dst))
+        try:
+            path = nx.shortest_path(graph, src, dst, weight="length_mm")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise RoutingError(f"no route from {src!r} to {dst!r}") from exc
+        return tuple(path)
+
+    def distance_mm(self, src: str, dst: str) -> float:
+        """Shortest-path physical distance between two nodes."""
+        return self.chip.path_length_mm(self.shortest_path(src, dst))
+
+    def k_shortest_paths(self, src: str, dst: str, k: int = 3) -> List[FlowPath]:
+        """Up to ``k`` loop-free paths in increasing length order."""
+        graph = self._subgraph(None, (src, dst))
+        try:
+            gen = nx.shortest_simple_paths(graph, src, dst, weight="length_mm")
+            return [tuple(p) for p in itertools.islice(gen, k)]
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise RoutingError(f"no route from {src!r} to {dst!r}") from exc
+
+    # -- multi-waypoint paths ---------------------------------------------------
+
+    def path_through(
+        self,
+        src: str,
+        targets: Sequence[str],
+        dst: str,
+        avoid: Optional[Iterable[str]] = None,
+    ) -> FlowPath:
+        """A path from ``src`` to ``dst`` covering every node in ``targets``.
+
+        Several target visit orders are tried with *strict* simplicity
+        (no node revisited); the shortest simple result wins.  Only when no
+        order yields a simple path does the router fall back to a walk that
+        may revisit nodes.  Raises :class:`RoutingError` when some target
+        is unreachable.
+        """
+        remaining: Set[str] = set(targets)
+        remaining.discard(src)
+        remaining.discard(dst)
+        base_avoid = set(avoid) if avoid else set()
+        if not remaining:
+            return self.shortest_path(src, dst, avoid=base_avoid)
+
+        best: Optional[FlowPath] = None
+        for order in self._visit_orders(src, sorted(remaining), base_avoid):
+            for protect_future in (True, False):
+                path = self._build_simple(src, order, dst, base_avoid, protect_future)
+                if path is None:
+                    continue
+                if best is None or self.chip.path_length_mm(path) < self.chip.path_length_mm(best):
+                    best = path
+        if best is not None:
+            return best
+        return self._build_relaxed(src, remaining, dst, base_avoid)
+
+    def _chain_order(self, targets: List[str]) -> Optional[List[str]]:
+        """Targets ordered along their induced path, if they form one.
+
+        Contaminated spots usually lie along one flow path, so their
+        induced subgraph is a simple chain — visiting them in chain order
+        is the natural wash direction.
+        """
+        if len(targets) == 1:
+            return list(targets)
+        sub = self.chip.graph.subgraph(targets)
+        degrees = dict(sub.degree())
+        if any(d > 2 for d in degrees.values()):
+            return None
+        if not nx.is_connected(sub):
+            return None
+        endpoints = [n for n, d in degrees.items() if d <= 1]
+        if len(endpoints) != 2:
+            return None
+        order: List[str] = [min(endpoints)]
+        seen = {order[0]}
+        while len(order) < len(targets):
+            nxt = [n for n in sub.neighbors(order[-1]) if n not in seen]
+            if not nxt:
+                return None
+            order.append(nxt[0])
+            seen.add(nxt[0])
+        return order
+
+    def _visit_orders(
+        self, src: str, targets: List[str], base_avoid: Set[str]
+    ) -> List[List[str]]:
+        """Candidate target visit orders: distance sweeps + reversals."""
+        def dist(a: str, b: str) -> float:
+            try:
+                return self.chip.path_length_mm(self.shortest_path(a, b, avoid=base_avoid))
+            except RoutingError:
+                return float("inf")
+
+        ascending = sorted(targets, key=lambda t: (dist(src, t), t))
+        greedy: List[str] = []
+        pool = list(targets)
+        current = src
+        while pool:
+            nxt = min(pool, key=lambda t: (dist(current, t), t))
+            greedy.append(nxt)
+            pool.remove(nxt)
+            current = nxt
+        orders = [greedy, ascending, list(reversed(ascending))]
+        chain = self._chain_order(targets)
+        if chain is not None:
+            orders = [chain, list(reversed(chain))] + orders
+        unique: List[List[str]] = []
+        for order in orders:
+            if order not in unique:
+                unique.append(order)
+        return unique
+
+    def _build_simple(
+        self,
+        src: str,
+        order: List[str],
+        dst: str,
+        base_avoid: Set[str],
+        protect_future: bool = True,
+    ) -> Optional[FlowPath]:
+        """Chain legs through ``order`` without revisiting any node.
+
+        With ``protect_future`` each leg also detours around targets later
+        in the order, so a leg never enters a constrained node (e.g. a
+        two-ended device) from the side that strands the rest of the tour.
+        """
+        path: List[str] = [src]
+        current = src
+        covered = {src}
+        for i, target in enumerate(order):
+            if target in covered:
+                continue
+            avoid = base_avoid | (covered - {current})
+            if protect_future:
+                avoid |= {t for t in order[i + 1:] if t not in covered}
+            try:
+                leg = self.shortest_path(current, target, avoid=avoid)
+            except RoutingError:
+                return None
+            path.extend(leg[1:])
+            covered.update(leg)
+            current = target
+        try:
+            leg = self.shortest_path(current, dst, avoid=base_avoid | (covered - {current}))
+        except RoutingError:
+            return None
+        path.extend(leg[1:])
+        return tuple(path)
+
+    def _build_relaxed(
+        self, src: str, remaining: Set[str], dst: str, base_avoid: Set[str]
+    ) -> FlowPath:
+        """Nearest-neighbor walk that may revisit nodes (last resort)."""
+        remaining = set(remaining)
+        path: List[str] = [src]
+        current = src
+        while remaining:
+            current, leg = self._nearest_leg(current, remaining, base_avoid, path)
+            path.extend(leg[1:])
+            remaining -= set(leg)
+        last_leg = self._leg(current, dst, base_avoid, path)
+        path.extend(last_leg[1:])
+        return tuple(path)
+
+    def _nearest_leg(
+        self,
+        current: str,
+        remaining: Set[str],
+        base_avoid: Set[str],
+        visited: Sequence[str],
+    ) -> Tuple[str, FlowPath]:
+        """Shortest leg from ``current`` to the closest remaining target."""
+        best: Optional[Tuple[float, str, FlowPath]] = None
+        for target in sorted(remaining):
+            try:
+                leg = self._leg(current, target, base_avoid, visited)
+            except RoutingError:
+                continue
+            length = self.chip.path_length_mm(leg)
+            if best is None or length < best[0]:
+                best = (length, target, leg)
+        if best is None:
+            raise RoutingError(
+                f"cannot reach any of {sorted(remaining)} from {current!r}"
+            )
+        return best[1], best[2]
+
+    def _leg(
+        self,
+        src: str,
+        dst: str,
+        base_avoid: Set[str],
+        visited: Sequence[str],
+    ) -> FlowPath:
+        """One leg; try to stay simple first, then relax the visited set."""
+        try:
+            return self.shortest_path(src, dst, avoid=base_avoid | set(visited))
+        except RoutingError:
+            return self.shortest_path(src, dst, avoid=base_avoid)
+
+    # -- port selection ----------------------------------------------------------
+
+    def nearest_flow_port(self, node: str) -> str:
+        """The flow port with the shortest route to ``node``."""
+        return self._nearest_port(node, self.chip.flow_ports)
+
+    def nearest_waste_port(self, node: str) -> str:
+        """The waste port with the shortest route from ``node``."""
+        return self._nearest_port(node, self.chip.waste_ports)
+
+    def _nearest_port(self, node: str, ports: Sequence[str]) -> str:
+        best_port, best_dist = None, float("inf")
+        for port in ports:
+            try:
+                dist = self.distance_mm(node, port)
+            except RoutingError:
+                continue
+            if dist < best_dist:
+                best_port, best_dist = port, dist
+        if best_port is None:
+            raise RoutingError(f"no port reachable from {node!r}")
+        return best_port
+
+    def port_to_port_candidates(
+        self,
+        targets: Sequence[str],
+        max_candidates: int = 8,
+    ) -> List[FlowPath]:
+        """Candidate wash paths: every (flow port, waste port) pair routed
+        through ``targets``, shortest first, truncated to ``max_candidates``.
+
+        This is the candidate pool PDW's path-selection ILP chooses from.
+        """
+        candidates: List[Tuple[float, FlowPath]] = []
+        for fp in self.chip.flow_ports:
+            for wp in self.chip.waste_ports:
+                try:
+                    path = self.path_through(fp, targets, wp)
+                except RoutingError:
+                    continue
+                candidates.append((self.chip.path_length_mm(path), path))
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        unique: List[FlowPath] = []
+        seen: Set[FlowPath] = set()
+        for _, path in candidates:
+            if path not in seen:
+                unique.append(path)
+                seen.add(path)
+            if len(unique) >= max_candidates:
+                break
+        if not unique:
+            raise RoutingError(f"no port-to-port wash path covers {list(targets)}")
+        return unique

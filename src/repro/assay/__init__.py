@@ -1,0 +1,43 @@
+"""Bioassay modeling: fluids, operations and sequencing graphs.
+
+A bioassay is "modeled as a sequencing graph G(O, E), where O is a set of
+biochemical operations with specific execution times and E indicates the
+dependencies between these operations" (Section II).  This package provides
+
+* :class:`~repro.assay.operations.OperationSpec` — the operation taxonomy
+  (mix, heat, detect, ...) with default durations and the
+  transformative/pass-through distinction that drives Type 2 wash
+  exemptions,
+* :class:`~repro.assay.graph.SequencingGraph` — the DAG of reagent inputs
+  and operations, with fluid-type propagation,
+* JSON (de)serialization in :mod:`repro.assay.io`.
+"""
+
+from repro.assay.fluids import Fluid, composite_fluid
+from repro.assay.operations import (
+    OPERATION_TYPES,
+    OperationSpec,
+    is_transformative,
+    default_duration,
+)
+from repro.assay.graph import Operation, Reagent, SequencingGraph
+from repro.assay.dsl import format_assay, parse_assay
+from repro.assay.io import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+
+__all__ = [
+    "Fluid",
+    "OPERATION_TYPES",
+    "Operation",
+    "OperationSpec",
+    "Reagent",
+    "SequencingGraph",
+    "composite_fluid",
+    "default_duration",
+    "format_assay",
+    "parse_assay",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "is_transformative",
+]

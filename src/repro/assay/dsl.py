@@ -1,0 +1,107 @@
+"""A compact text DSL for writing bioassays by hand.
+
+Grammar (one statement per line; ``#`` starts a comment)::
+
+    assay <name>
+    reagent <id> : <fluid-type>
+    <op-id> = <op-type>(<input>[, <input>...]) [@ <seconds>s]
+
+Example::
+
+    assay glucose-test
+    # inputs
+    reagent s1 : serum
+    reagent g1 : glucose-agent
+    reagent b1 : diluent
+    # protocol
+    mix1 = mix(s1, g1) @ 5s
+    dil1 = dilute(mix1, b1)
+    det1 = detect(dil1) @ 4s
+
+Parsed with :func:`parse_assay`; the inverse, :func:`format_assay`, renders
+any sequencing graph back into the DSL (round-trip safe).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.assay.graph import Operation, Reagent, SequencingGraph
+from repro.errors import AssayError
+
+_ASSAY_RE = re.compile(r"^assay\s+(?P<name>\S+)\s*$")
+_REAGENT_RE = re.compile(r"^reagent\s+(?P<id>\w[\w.-]*)\s*:\s*(?P<fluid>\S+)\s*$")
+_OP_RE = re.compile(
+    r"^(?P<id>\w[\w.-]*)\s*=\s*(?P<type>\w+)\s*"
+    r"\(\s*(?P<inputs>[^)]*)\)\s*"
+    r"(?:@\s*(?P<duration>\d+)\s*s)?\s*$"
+)
+
+
+def parse_assay(text: str) -> SequencingGraph:
+    """Parse DSL ``text`` into a validated sequencing graph.
+
+    Raises :class:`~repro.errors.AssayError` with the offending line number
+    on any syntax or semantic problem.
+    """
+    graph: SequencingGraph | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        match = _ASSAY_RE.match(line)
+        if match:
+            if graph is not None:
+                raise AssayError(f"line {line_no}: duplicate 'assay' statement")
+            graph = SequencingGraph(match.group("name"))
+            continue
+
+        if graph is None:
+            raise AssayError(
+                f"line {line_no}: file must start with 'assay <name>'"
+            )
+
+        match = _REAGENT_RE.match(line)
+        if match:
+            graph.add_reagent(Reagent(match.group("id"), match.group("fluid")))
+            continue
+
+        match = _OP_RE.match(line)
+        if match:
+            inputs = [s.strip() for s in match.group("inputs").split(",") if s.strip()]
+            if not inputs:
+                raise AssayError(f"line {line_no}: operation needs inputs")
+            duration = match.group("duration")
+            try:
+                graph.add_operation(
+                    Operation(
+                        match.group("id"),
+                        match.group("type"),
+                        int(duration) if duration else None,
+                    ),
+                    inputs=inputs,
+                )
+            except (AssayError, KeyError) as exc:
+                raise AssayError(f"line {line_no}: {exc}") from exc
+            continue
+
+        raise AssayError(f"line {line_no}: cannot parse {line!r}")
+
+    if graph is None:
+        raise AssayError("empty assay document")
+    graph.validate()
+    return graph
+
+
+def format_assay(graph: SequencingGraph) -> str:
+    """Render a sequencing graph as DSL text (inverse of :func:`parse_assay`)."""
+    lines: List[str] = [f"assay {graph.name}"]
+    for reagent in graph.reagents:
+        lines.append(f"reagent {reagent.id} : {reagent.fluid_type}")
+    for op in graph.operations:
+        inputs = ", ".join(graph.inputs_of(op.id))
+        suffix = f" @ {op.duration_s}s" if op.duration_s is not None else ""
+        lines.append(f"{op.id} = {op.op_type}({inputs}){suffix}")
+    return "\n".join(lines) + "\n"

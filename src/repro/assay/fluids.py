@@ -1,0 +1,66 @@
+"""Fluid typing for contamination analysis.
+
+Cross-contamination is a relation between *fluid types*: a residue only
+threatens a later flow if the two fluids differ (Type 2 analysis of
+Section II-A).  We represent fluid types as opaque strings; reagents carry
+their own type, and operation outputs either pass the input type through
+(e.g. a detection does not alter the fluid) or create a fresh composite type
+(e.g. a mix of two reagents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Type string of wash buffer fluid — never contaminates anything.
+BUFFER_TYPE = "__buffer__"
+
+#: Type string marking waste flows (Type 3 analysis).
+WASTE_TYPE = "__waste__"
+
+
+@dataclass(frozen=True)
+class Fluid:
+    """A concrete fluid instance with a contamination type.
+
+    Two fluids cross-contaminate iff their ``type_key`` values differ and
+    neither is wash buffer.
+    """
+
+    name: str
+    type_key: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fluid name cannot be empty")
+        if not self.type_key:
+            raise ValueError("fluid type key cannot be empty")
+
+    @property
+    def is_buffer(self) -> bool:
+        """Whether this fluid is wash buffer."""
+        return self.type_key == BUFFER_TYPE
+
+    def contaminates(self, other: "Fluid") -> bool:
+        """Whether residue of ``self`` would corrupt a flow of ``other``."""
+        if self.is_buffer or other.is_buffer:
+            return False
+        return self.type_key != other.type_key
+
+
+def buffer_fluid(name: str = "buffer") -> Fluid:
+    """A wash-buffer fluid instance."""
+    return Fluid(name, BUFFER_TYPE)
+
+
+def composite_fluid(op_id: str, op_type: str, input_types: Sequence[str]) -> str:
+    """Deterministic type key for the output of a transformative operation.
+
+    The key embeds the operation id, so re-running the same recipe in a
+    different operation yields a distinct fluid instance type — matching the
+    paper's conservative treatment where only *the same* fluid avoids
+    contamination.
+    """
+    joined = "|".join(sorted(input_types))
+    return f"{op_type}:{op_id}({joined})"

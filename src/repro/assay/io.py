@@ -1,0 +1,71 @@
+"""JSON (de)serialization of sequencing graphs.
+
+The on-disk format is deliberately plain so benchmark assays can be written
+by hand::
+
+    {
+      "name": "pcr",
+      "reagents": [{"id": "r1", "fluid_type": "primer"}],
+      "operations": [
+        {"id": "o1", "op_type": "mix", "duration_s": 5, "inputs": ["r1", "r2"]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.assay.graph import Operation, Reagent, SequencingGraph
+from repro.errors import AssayError
+
+
+def graph_to_dict(graph: SequencingGraph) -> Dict[str, Any]:
+    """Serialize a sequencing graph to plain data."""
+    return {
+        "name": graph.name,
+        "reagents": [
+            {"id": r.id, "fluid_type": r.fluid_type} for r in graph.reagents
+        ],
+        "operations": [
+            {
+                "id": op.id,
+                "op_type": op.op_type,
+                "duration_s": op.duration_s,
+                "inputs": graph.inputs_of(op.id),
+            }
+            for op in graph.operations
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> SequencingGraph:
+    """Rebuild a sequencing graph from :func:`graph_to_dict` output."""
+    try:
+        graph = SequencingGraph(data["name"])
+        for item in data.get("reagents", []):
+            graph.add_reagent(Reagent(item["id"], item["fluid_type"]))
+        for item in data.get("operations", []):
+            op = Operation(item["id"], item["op_type"], item.get("duration_s"))
+            graph.add_operation(op, inputs=item["inputs"])
+    except KeyError as exc:
+        raise AssayError(f"assay document missing field {exc}") from exc
+    graph.validate()
+    return graph
+
+
+def graph_to_json(graph: SequencingGraph, indent: int = 2) -> str:
+    """Serialize a sequencing graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def graph_from_json(text: str) -> SequencingGraph:
+    """Parse a sequencing graph from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AssayError(f"malformed assay JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise AssayError("assay JSON must be an object")
+    return graph_from_dict(data)

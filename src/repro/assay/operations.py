@@ -1,0 +1,72 @@
+"""The biochemical operation taxonomy.
+
+Each operation type maps to the device kind that executes it and carries a
+default execution time (used when a benchmark does not specify one) plus the
+*transformative* flag: a transformative operation (mix, heat, ...) produces
+a chemically new fluid, while a pass-through operation (detect, store)
+outputs the same fluid it received.  The flag drives the Type 2 wash
+exemption of Section II-A — in the paper's example, the detection result of
+``o4`` is the *same* fluid that earlier contaminated the path, so no wash is
+needed, whereas the heater output of ``o5`` is a new fluid and the path must
+be washed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.device import DeviceKind
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Static properties of one operation type."""
+
+    op_type: str
+    device_kind: DeviceKind
+    transformative: bool
+    default_duration_s: int
+
+    def __post_init__(self) -> None:
+        if self.default_duration_s < 1:
+            raise ValueError(f"{self.op_type}: duration must be >= 1 s")
+
+
+#: All supported operation types.  Durations follow the scale of the paper's
+#: example schedule (mixing 5 s, detection 4 s, heating 4 s; Fig. 2(b)).
+OPERATION_TYPES: Dict[str, OperationSpec] = {
+    spec.op_type: spec
+    for spec in (
+        OperationSpec("mix", DeviceKind.MIXER, True, 5),
+        OperationSpec("dilute", DeviceKind.MIXER, True, 5),
+        OperationSpec("heat", DeviceKind.HEATER, True, 4),
+        OperationSpec("thermocycle", DeviceKind.HEATER, True, 8),
+        OperationSpec("incubate", DeviceKind.INCUBATOR, True, 6),
+        OperationSpec("detect", DeviceKind.DETECTOR, False, 4),
+        OperationSpec("filter", DeviceKind.FILTER, True, 3),
+        OperationSpec("store", DeviceKind.STORAGE, False, 1),
+        OperationSpec("separate", DeviceKind.SEPARATOR, True, 4),
+        OperationSpec("split", DeviceKind.SEPARATOR, True, 2),
+        OperationSpec("culture", DeviceKind.INCUBATOR, True, 10),
+    )
+}
+
+
+def spec_for(op_type: str) -> OperationSpec:
+    """Spec of an operation type; raises ``KeyError`` with a helpful message."""
+    try:
+        return OPERATION_TYPES[op_type]
+    except KeyError:
+        known = ", ".join(sorted(OPERATION_TYPES))
+        raise KeyError(f"unknown operation type {op_type!r}; known: {known}") from None
+
+
+def is_transformative(op_type: str) -> bool:
+    """Whether ``op_type`` produces a chemically new fluid."""
+    return spec_for(op_type).transformative
+
+
+def default_duration(op_type: str) -> int:
+    """Default execution time of ``op_type`` in seconds."""
+    return spec_for(op_type).default_duration_s

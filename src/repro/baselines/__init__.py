@@ -1,0 +1,15 @@
+"""Baseline wash methods the paper compares against.
+
+* :class:`~repro.baselines.dawo.DelayAwareWashOptimizer` — the DAWO method
+  of [10] as described in Section IV: per-spot wash operations, BFS wash
+  paths, sweep-line time-interval assignment, no necessity analysis and no
+  removal integration.
+* :func:`~repro.baselines.immediate.immediate_wash_plan` — a naive
+  wash-everything-immediately policy, used by the ablation benches as a
+  lower anchor.
+"""
+
+from repro.baselines.dawo import DelayAwareWashOptimizer, dawo_plan
+from repro.baselines.immediate import immediate_wash_plan
+
+__all__ = ["DelayAwareWashOptimizer", "dawo_plan", "immediate_wash_plan"]

@@ -1,0 +1,26 @@
+"""The paper's benchmark suite (Table II, column 2).
+
+Five real-life bioassays — PCR, IVD, ProteinSplit, Kinase act-1/2 — plus
+three synthetic benchmarks, each matching the published
+|O| (operations) / |D| (devices) / |E| (edges) sizes.  See
+:mod:`repro.bench.library` for the assay constructions and
+:mod:`repro.bench.synthetic` for the seeded random-DAG generator.
+"""
+
+from repro.bench.library import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark,
+    benchmark_names,
+    load_benchmark,
+)
+from repro.bench.synthetic import synthetic_assay
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark",
+    "benchmark_names",
+    "load_benchmark",
+    "synthetic_assay",
+]

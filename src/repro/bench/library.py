@@ -1,0 +1,280 @@
+"""The eight Table II benchmarks.
+
+Each benchmark carries a sequencing-graph factory, the device inventory of
+its library (|D| devices), and the paper's published Table II numbers for
+DAWO and PDW, used by the experiment harness when reporting
+paper-vs-measured comparisons.
+
+Sizes follow Table II column 2 exactly (|E| per the convention documented
+in :mod:`repro.assay.graph`):
+
+=============  ====  ====  ====
+benchmark      |O|   |D|   |E|
+=============  ====  ====  ====
+PCR              7     5    15
+IVD             12     9    24
+ProteinSplit    14    11    27
+Kinase act-1     4     9    16
+Kinase act-2    12     9    48
+Synthetic1      10    12    15
+Synthetic2      15    13    24
+Synthetic3      20    18    28
+=============  ====  ====  ====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.arch.device import DeviceKind
+from repro.assay.graph import Operation, Reagent, SequencingGraph
+from repro.bench.synthetic import synthetic_assay
+from repro.errors import BenchmarkError
+
+#: Published Table II rows: (N_wash, L_wash mm, T_delay s, T_assay s).
+PaperRow = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: assay factory + device inventory + paper numbers."""
+
+    name: str
+    build: Callable[[], SequencingGraph]
+    inventory: Dict[DeviceKind, int]
+    expected_ops: int
+    expected_devices: int
+    expected_edges: int
+    paper_dawo: PaperRow
+    paper_pdw: PaperRow
+
+    @property
+    def device_total(self) -> int:
+        """|D| — total devices in the inventory."""
+        return sum(self.inventory.values())
+
+
+# ---------------------------------------------------------------------------
+# real-life assays
+# ---------------------------------------------------------------------------
+
+def build_pcr() -> SequencingGraph:
+    """PCR master-mix preparation: a binary mixing tree over 8 reagents."""
+    g = SequencingGraph("PCR")
+    reagents = [
+        "primer-f", "primer-r", "template", "polymerase",
+        "dntp", "mg-cl2", "kcl", "gelatin",
+    ]
+    for i, fluid in enumerate(reagents, start=1):
+        g.add_reagent(Reagent(f"r{i}", fluid))
+    for i in range(4):  # first mixing level
+        g.add_operation(Operation(f"o{i + 1}", "mix"), [f"r{2 * i + 1}", f"r{2 * i + 2}"])
+    g.add_operation(Operation("o5", "mix"), ["o1", "o2"])
+    g.add_operation(Operation("o6", "mix"), ["o3", "o4"])
+    g.add_operation(Operation("o7", "mix"), ["o5", "o6"])
+    return g
+
+
+def build_ivd() -> SequencingGraph:
+    """In-vitro diagnostics: four sample/reagent chains (mix-dilute-detect)."""
+    g = SequencingGraph("IVD")
+    for i in range(1, 5):
+        g.add_reagent(Reagent(f"s{i}", f"serum-{i}"))
+        g.add_reagent(Reagent(f"g{i}", f"glucose-agent-{i}"))
+        g.add_reagent(Reagent(f"b{i}", f"diluent-{i}"))
+    for i in range(1, 5):
+        g.add_operation(Operation(f"mix{i}", "mix"), [f"s{i}", f"g{i}"])
+        g.add_operation(Operation(f"dil{i}", "dilute"), [f"mix{i}", f"b{i}"])
+        g.add_operation(Operation(f"det{i}", "detect"), [f"dil{i}"])
+    return g
+
+
+def build_protein_split() -> SequencingGraph:
+    """Protein dilution: split tree with exponential dilution and detection."""
+    g = SequencingGraph("ProteinSplit")
+    g.add_reagent(Reagent("r1", "protein-sample"))
+    g.add_reagent(Reagent("r2", "assay-buffer"))
+    for i in range(3, 9):
+        g.add_reagent(Reagent(f"r{i}", f"diluent-{i}"))
+    g.add_reagent(Reagent("r9", "salt-a"))
+    g.add_reagent(Reagent("r10", "salt-b"))
+    g.add_operation(Operation("o1", "mix"), ["r1", "r2"])
+    g.add_operation(Operation("o2", "split"), ["o1"])
+    g.add_operation(Operation("o3", "dilute"), ["o2", "r3", "r9"])
+    g.add_operation(Operation("o4", "dilute"), ["o2", "r4", "r10"])
+    g.add_operation(Operation("o5", "split"), ["o3"])
+    g.add_operation(Operation("o6", "split"), ["o4"])
+    g.add_operation(Operation("o7", "dilute"), ["o5", "r5"])
+    g.add_operation(Operation("o8", "dilute"), ["o5", "r6"])
+    g.add_operation(Operation("o9", "dilute"), ["o6", "r7"])
+    g.add_operation(Operation("o10", "dilute"), ["o6", "r8"])
+    for i, src in enumerate(("o7", "o8", "o9", "o10"), start=11):
+        g.add_operation(Operation(f"o{i}", "detect"), [src])
+    return g
+
+
+def build_kinase1() -> SequencingGraph:
+    """Kinase activity (single batch): two large mixes, incubation, readout."""
+    g = SequencingGraph("Kinase-act-1")
+    for i in range(1, 7):
+        g.add_reagent(Reagent(f"r{i}", f"kinase-buffer-{i}"))
+    for i in range(7, 12):
+        g.add_reagent(Reagent(f"r{i}", f"substrate-{i}"))
+    g.add_reagent(Reagent("r12", "atp"))
+    g.add_operation(Operation("o1", "mix"), [f"r{i}" for i in range(1, 7)])
+    g.add_operation(Operation("o2", "mix"), ["o1"] + [f"r{i}" for i in range(7, 12)])
+    g.add_operation(Operation("o3", "incubate"), ["o2", "r12"])
+    g.add_operation(Operation("o4", "detect"), ["o3"])
+    return g
+
+
+def build_kinase2() -> SequencingGraph:
+    """Kinase activity (three replicates sharing one reagent library)."""
+    g = SequencingGraph("Kinase-act-2")
+    for i in range(1, 7):
+        g.add_reagent(Reagent(f"r{i}", f"kinase-buffer-{i}"))
+    for i in range(7, 12):
+        g.add_reagent(Reagent(f"r{i}", f"substrate-{i}"))
+    g.add_reagent(Reagent("r12", "atp"))
+    for k in range(1, 4):
+        g.add_operation(Operation(f"mixA{k}", "mix"), [f"r{i}" for i in range(1, 7)])
+        g.add_operation(
+            Operation(f"mixB{k}", "mix"),
+            [f"mixA{k}"] + [f"r{i}" for i in range(7, 12)],
+        )
+        g.add_operation(Operation(f"inc{k}", "incubate"), [f"mixB{k}", "r12"])
+        g.add_operation(Operation(f"det{k}", "detect"), [f"inc{k}"])
+    return g
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchmarkSpec(
+            name="PCR",
+            build=build_pcr,
+            inventory={DeviceKind.MIXER: 4, DeviceKind.DETECTOR: 1},
+            expected_ops=7, expected_devices=5, expected_edges=15,
+            paper_dawo=(4, 110, 10, 33), paper_pdw=(3, 80, 7, 30),
+        ),
+        BenchmarkSpec(
+            name="IVD",
+            build=build_ivd,
+            inventory={DeviceKind.MIXER: 4, DeviceKind.DETECTOR: 4, DeviceKind.HEATER: 1},
+            expected_ops=12, expected_devices=9, expected_edges=24,
+            paper_dawo=(10, 200, 21, 51), paper_pdw=(6, 150, 16, 46),
+        ),
+        BenchmarkSpec(
+            name="ProteinSplit",
+            build=build_protein_split,
+            inventory={
+                DeviceKind.MIXER: 4,
+                DeviceKind.SEPARATOR: 3,
+                DeviceKind.DETECTOR: 4,
+            },
+            expected_ops=14, expected_devices=11, expected_edges=27,
+            paper_dawo=(12, 220, 15, 110), paper_pdw=(10, 160, 7, 102),
+        ),
+        BenchmarkSpec(
+            name="Kinase-act-1",
+            build=build_kinase1,
+            inventory={
+                DeviceKind.MIXER: 3,
+                DeviceKind.INCUBATOR: 2,
+                DeviceKind.DETECTOR: 2,
+                DeviceKind.HEATER: 1,
+                DeviceKind.STORAGE: 1,
+            },
+            expected_ops=4, expected_devices=9, expected_edges=16,
+            paper_dawo=(3, 80, 5, 38), paper_pdw=(3, 60, 3, 36),
+        ),
+        BenchmarkSpec(
+            name="Kinase-act-2",
+            build=build_kinase2,
+            inventory={
+                DeviceKind.MIXER: 3,
+                DeviceKind.INCUBATOR: 3,
+                DeviceKind.DETECTOR: 3,
+            },
+            expected_ops=12, expected_devices=9, expected_edges=48,
+            paper_dawo=(17, 250, 33, 87), paper_pdw=(13, 190, 25, 79),
+        ),
+        BenchmarkSpec(
+            name="Synthetic1",
+            build=lambda: synthetic_assay("Synthetic1", n_ops=10, n_edges=15, seed=101),
+            inventory={
+                DeviceKind.MIXER: 5,
+                DeviceKind.HEATER: 3,
+                DeviceKind.DETECTOR: 2,
+                DeviceKind.INCUBATOR: 2,
+            },
+            expected_ops=10, expected_devices=12, expected_edges=15,
+            paper_dawo=(10, 290, 19, 58), paper_pdw=(8, 220, 13, 52),
+        ),
+        BenchmarkSpec(
+            name="Synthetic2",
+            build=lambda: synthetic_assay("Synthetic2", n_ops=15, n_edges=24, seed=202),
+            inventory={
+                DeviceKind.MIXER: 6,
+                DeviceKind.HEATER: 3,
+                DeviceKind.DETECTOR: 2,
+                DeviceKind.INCUBATOR: 2,
+            },
+            expected_ops=15, expected_devices=13, expected_edges=24,
+            paper_dawo=(16, 300, 29, 78), paper_pdw=(16, 260, 21, 70),
+        ),
+        BenchmarkSpec(
+            name="Synthetic3",
+            build=lambda: synthetic_assay("Synthetic3", n_ops=20, n_edges=28, seed=303),
+            inventory={
+                DeviceKind.MIXER: 8,
+                DeviceKind.HEATER: 4,
+                DeviceKind.DETECTOR: 3,
+                DeviceKind.INCUBATOR: 3,
+            },
+            expected_ops=20, expected_devices=18, expected_edges=28,
+            paper_dawo=(18, 460, 35, 92), paper_pdw=(15, 320, 23, 80),
+        ),
+    )
+}
+
+
+def benchmark_names() -> List[str]:
+    """The eight benchmark names in Table II order."""
+    return list(BENCHMARKS)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}"
+        ) from None
+
+
+def load_benchmark(name: str) -> SequencingGraph:
+    """Build the sequencing graph of a named benchmark (validated)."""
+    spec = benchmark(name)
+    graph = spec.build()
+    graph.validate()
+    if graph.operation_count != spec.expected_ops:
+        raise BenchmarkError(
+            f"{name}: |O|={graph.operation_count}, expected {spec.expected_ops}"
+        )
+    if graph.edge_count != spec.expected_edges:
+        raise BenchmarkError(
+            f"{name}: |E|={graph.edge_count}, expected {spec.expected_edges}"
+        )
+    if spec.device_total != spec.expected_devices:
+        raise BenchmarkError(
+            f"{name}: inventory has {spec.device_total} devices, "
+            f"expected {spec.expected_devices}"
+        )
+    return graph

@@ -1,0 +1,101 @@
+"""Seeded random sequencing-graph generator for the synthetic benchmarks.
+
+The generator targets exact |O| and |E| counts (|E| per the Table II
+convention: reagent-input edges + operation-operation edges + terminal
+output edges).  It first wires a random layered DAG where every operation
+has one producer, then adds extra reagent inputs until the edge budget is
+met — deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.assay.graph import Operation, Reagent, SequencingGraph
+from repro.errors import BenchmarkError
+
+#: Operation types the generator draws from (weighted toward mixing, like
+#: real assays).
+_OP_POOL = ["mix", "mix", "mix", "dilute", "heat", "detect", "incubate"]
+
+#: Reagent fluid types to cycle through.
+_FLUID_POOL = [
+    "sample", "reagent-a", "reagent-b", "enzyme", "buffer-salt",
+    "dye", "primer", "substrate", "acid", "base",
+]
+
+
+def synthetic_assay(name: str, n_ops: int, n_edges: int, seed: int) -> SequencingGraph:
+    """Generate a synthetic assay with exactly ``n_ops`` and ``n_edges``.
+
+    Raises :class:`BenchmarkError` when the edge budget is infeasible for
+    the operation count (each op needs >= 1 input; pass-through ops take
+    exactly one).
+    """
+    if n_ops < 1:
+        raise BenchmarkError("need at least one operation")
+    rng = random.Random(seed)
+    graph = SequencingGraph(name)
+
+    ops: List[Operation] = []
+    reagent_count = 0
+
+    def new_reagent() -> str:
+        nonlocal reagent_count
+        reagent_count += 1
+        fluid = _FLUID_POOL[(reagent_count - 1) % len(_FLUID_POOL)]
+        rid = f"r{reagent_count}"
+        graph.add_reagent(Reagent(rid, f"{fluid}-{reagent_count}"))
+        return rid
+
+    # Spanning pass: each op consumes one producer.  The open-output count
+    # is steered toward ``target_terminals`` so the minimum edge total
+    # (one input per op + one terminal edge per open output) stays within
+    # the requested budget.
+    slack = n_edges - n_ops
+    if slack < 1:
+        raise BenchmarkError(f"{name}: edge budget {n_edges} < |O|+1")
+    target_terminals = max(1, min(slack, max(1, n_ops // 5)))
+    for i in range(1, n_ops + 1):
+        op_type = rng.choice(_OP_POOL)
+        op = Operation(f"o{i}", op_type)
+        open_ops = [o.id for o in ops if not graph.consumers_of(o.id)]
+        if open_ops and (
+            len(open_ops) >= target_terminals or rng.random() < 0.35
+        ):
+            producer = rng.choice(open_ops)
+        else:
+            producer = new_reagent()
+        graph.add_operation(op, inputs=[producer])
+        ops.append(op)
+
+    # Top-up pass: add reagent inputs to transformative ops until the edge
+    # budget (dependency edges + terminal outputs) is met.
+    def current_edges() -> int:
+        return graph.edge_count
+
+    if current_edges() > n_edges:
+        raise BenchmarkError(
+            f"{name}: minimum edge count {current_edges()} exceeds target {n_edges}"
+        )
+    eligible = [
+        op.id for op in ops if op.op_type not in ("detect", "store")
+    ]
+    if not eligible and current_edges() < n_edges:
+        raise BenchmarkError(f"{name}: no operation can take extra inputs")
+    i = 0
+    while current_edges() < n_edges:
+        # Adding a reagent edge never changes the terminal count, so each
+        # addition moves the total by exactly one.
+        target = eligible[i % len(eligible)]
+        graph.add_input(target, new_reagent())
+        i += 1
+
+    graph.validate()
+    if graph.operation_count != n_ops or graph.edge_count != n_edges:
+        raise BenchmarkError(
+            f"{name}: generator produced |O|={graph.operation_count}, "
+            f"|E|={graph.edge_count}, wanted {n_ops}/{n_edges}"
+        )
+    return graph

@@ -1,0 +1,194 @@
+"""The ``pdw`` command-line tool.
+
+Subcommands::
+
+    pdw run <benchmark> [--method pdw|dawo|immediate] [--gantt] [--chip]
+    pdw list
+    pdw report {table2,fig4,fig5,ablation,all}
+    pdw assay <file.json> [--method ...]     # optimize a user assay
+    pdw cost <benchmark>                     # chip cost + plan comparison
+    pdw simulate <benchmark> [--method ...]  # discrete-event execution log
+    pdw export <benchmark> --what plan|actuation|svg [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.assay import graph_from_json
+from repro.baselines import dawo_plan, immediate_wash_plan
+from repro.bench import BENCHMARKS, benchmark, load_benchmark
+from repro.core import PDWConfig, optimize_washes
+from repro.experiments.__main__ import main as experiments_main
+from repro.schedule import render_gantt
+from repro.synth import synthesize
+from repro.viz import render_chip
+
+_METHODS = {
+    "pdw": lambda synth, cfg: optimize_washes(synth, cfg),
+    "dawo": lambda synth, cfg: dawo_plan(synth),
+    "immediate": lambda synth, cfg: immediate_wash_plan(synth),
+}
+
+
+def _print_plan(plan, show_gantt: bool, show_chip: bool) -> None:
+    print(f"method:      {plan.method} ({plan.solver_status})")
+    for key, value in plan.metrics().items():
+        print(f"{key + ':':<13}{value:g}")
+    for wash in plan.washes:
+        print(
+            f"  {wash.id}: [{wash.start}, {wash.end}) s  "
+            f"path {' -> '.join(wash.path)}"
+        )
+    if show_chip:
+        print()
+        print(render_chip(plan.chip))
+    if show_gantt:
+        print()
+        print(render_gantt(plan.schedule))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="pdw", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the built-in benchmarks")
+
+    p_run = sub.add_parser("run", help="optimize a built-in benchmark")
+    p_run.add_argument("benchmark", choices=list(BENCHMARKS))
+    p_run.add_argument("--method", choices=list(_METHODS), default="pdw")
+    p_run.add_argument("--time-limit", type=float, default=120.0)
+    p_run.add_argument("--gantt", action="store_true", help="print the schedule chart")
+    p_run.add_argument("--chip", action="store_true", help="print the chip layout")
+
+    p_assay = sub.add_parser("assay", help="optimize an assay from a JSON file")
+    p_assay.add_argument("file", type=Path)
+    p_assay.add_argument("--method", choices=list(_METHODS), default="pdw")
+    p_assay.add_argument("--time-limit", type=float, default=120.0)
+    p_assay.add_argument("--gantt", action="store_true")
+    p_assay.add_argument("--chip", action="store_true")
+
+    p_report = sub.add_parser("report", help="regenerate the paper's tables/figures")
+    p_report.add_argument(
+        "name",
+        choices=("table2", "fig4", "fig5", "ablation", "necessity", "pareto", "all"),
+    )
+    p_report.add_argument("--time-limit", type=float, default=120.0)
+
+    p_cost = sub.add_parser("cost", help="chip cost report + plan comparison")
+    p_cost.add_argument("benchmark", choices=list(BENCHMARKS))
+    p_cost.add_argument("--time-limit", type=float, default=120.0)
+
+    p_sim = sub.add_parser("simulate", help="discrete-event execution log")
+    p_sim.add_argument("benchmark", choices=list(BENCHMARKS))
+    p_sim.add_argument("--method", choices=list(_METHODS), default="pdw")
+    p_sim.add_argument("--time-limit", type=float, default=120.0)
+    p_sim.add_argument("--events", action="store_true", help="print every event")
+
+    p_export = sub.add_parser("export", help="export plan/actuation/SVG artifacts")
+    p_export.add_argument("benchmark", choices=list(BENCHMARKS))
+    p_export.add_argument("--what", choices=("plan", "actuation", "svg"), default="plan")
+    p_export.add_argument("--method", choices=list(_METHODS), default="pdw")
+    p_export.add_argument("--time-limit", type=float, default=120.0)
+    p_export.add_argument("--out", type=Path, default=None, help="output file (default stdout)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, spec in BENCHMARKS.items():
+            print(
+                f"{name:15s} |O|={spec.expected_ops:3d} "
+                f"|D|={spec.expected_devices:3d} |E|={spec.expected_edges:3d}"
+            )
+        return 0
+
+    if args.command == "report":
+        return experiments_main([args.name, "--time-limit", str(args.time_limit)])
+
+    config = PDWConfig(time_limit_s=args.time_limit)
+
+    if args.command == "cost":
+        return _run_cost(args.benchmark, config)
+    if args.command == "simulate":
+        return _run_simulate(args.benchmark, args.method, config, args.events)
+    if args.command == "export":
+        return _run_export(args.benchmark, args.what, args.method, config, args.out)
+
+    if args.command == "run":
+        spec = benchmark(args.benchmark)
+        synth = synthesize(load_benchmark(args.benchmark), inventory=spec.inventory)
+    else:
+        text = args.file.read_text()
+        if args.file.suffix == ".json":
+            assay = graph_from_json(text)
+        else:  # .dsl / .assay text format
+            from repro.assay import parse_assay
+
+            assay = parse_assay(text)
+        synth = synthesize(assay)
+    plan = _METHODS[args.method](synth, config)
+    _print_plan(plan, args.gantt, args.chip)
+    return 0
+
+
+def _run_cost(bench_name: str, config: PDWConfig) -> int:
+    from repro.analysis import chip_cost, compare_plans
+
+    spec = benchmark(bench_name)
+    synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+    pdw = _METHODS["pdw"](synth, config)
+    dawo = _METHODS["dawo"](synth, config)
+
+    print(f"chip cost of {bench_name} (baseline schedule):")
+    for key, value in chip_cost(synth.chip, synth.schedule).as_dict().items():
+        print(f"  {key:<20}{value:g}")
+    print()
+    print(compare_plans([pdw, dawo]))
+    return 0
+
+
+def _run_export(
+    bench_name: str,
+    what: str,
+    method: str,
+    config: PDWConfig,
+    out: Path | None,
+) -> int:
+    from repro.export import actuation_program, plan_to_json, render_svg
+
+    spec = benchmark(bench_name)
+    synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+    plan = _METHODS[method](synth, config)
+    if what == "plan":
+        text = plan_to_json(plan)
+    elif what == "actuation":
+        text = actuation_program(synth.chip, plan.schedule)
+    else:
+        text = render_svg(synth.chip, paths=[w.path for w in plan.washes])
+    if out is None:
+        print(text)
+    else:
+        out.write_text(text)
+        print(f"wrote {what} artifact to {out}")
+    return 0
+
+
+def _run_simulate(bench_name: str, method: str, config: PDWConfig, events: bool) -> int:
+    from repro.sim import simulate_plan
+
+    spec = benchmark(bench_name)
+    synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+    plan = _METHODS[method](synth, config)
+    report = simulate_plan(plan, synth)
+    print(f"{plan.method} plan on {bench_name}: {report.summary()}")
+    print("execution " + ("OK" if report.ok else "BROKEN"))
+    shown = report.events if events else report.anomalies
+    for event in shown:
+        print(f"  {event}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

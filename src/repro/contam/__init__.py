@@ -1,0 +1,33 @@
+"""Contamination tracking and wash-necessity analysis.
+
+This package implements Section II-A / the :math:`a^1, a^2, a^3, r` logic of
+Eqs. (9)-(11):
+
+* :class:`~repro.contam.tracker.ContaminationTracker` replays a schedule and
+  records which chip nodes are contaminated by which fluid at what time,
+* :func:`~repro.contam.necessity.wash_requirements` classifies every
+  contamination event as Type 1/2/3-exempt or as a genuine wash requirement
+  with a release time and a deadline,
+* :func:`~repro.contam.tracker.contamination_violations` verifies a finished
+  wash plan: replaying the final schedule (wash tasks included) must leave
+  no transport running over a foreign residue.
+"""
+
+from repro.contam.events import ContaminationEvent, NodeUse, WashRequirement
+from repro.contam.tracker import ContaminationTracker, contamination_violations
+from repro.contam.necessity import (
+    NecessityPolicy,
+    NecessityReport,
+    wash_requirements,
+)
+
+__all__ = [
+    "ContaminationEvent",
+    "ContaminationTracker",
+    "NecessityPolicy",
+    "NecessityReport",
+    "NodeUse",
+    "WashRequirement",
+    "contamination_violations",
+    "wash_requirements",
+]

@@ -1,0 +1,80 @@
+"""Event records used by the contamination engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.tasks import TaskKind
+
+
+@dataclass(frozen=True)
+class ContaminationEvent:
+    """A chip node becoming contaminated.
+
+    ``time`` is the paper's :math:`t^c_{x,y}` — the completion tick of the
+    task whose fluid leaves the residue.
+    """
+
+    node: str
+    fluid_type: str
+    time: int
+    source_task: str
+
+
+@dataclass(frozen=True)
+class NodeUse:
+    """One task occupying one chip node during ``[start, end)``."""
+
+    task_id: str
+    kind: TaskKind
+    start: int
+    end: int
+    fluid_type: str | None
+
+    @property
+    def tolerates_residue(self) -> bool:
+        """Whether this use is harmless on a contaminated node.
+
+        Waste disposals and excess removals carry fluid that is being
+        discarded (Type 3), and wash flows are buffer by definition.
+        """
+        return self.kind in (TaskKind.WASTE, TaskKind.REMOVAL, TaskKind.WASH)
+
+
+@dataclass(frozen=True)
+class WashRequirement:
+    """A node that must be washed inside a time window.
+
+    Attributes
+    ----------
+    node:
+        The contaminated chip node.
+    fluid_type:
+        The residue's contamination type.
+    contaminated_at:
+        Tick at which the residue appears (wash cannot start earlier;
+        the :math:`t_{j,e}` bound of Eq. 16).
+    deadline:
+        Start tick of the first conflicting use (wash must finish by then;
+        the :math:`t_{j,s}` bound of Eq. 16).  Deadlines refer to the
+        *baseline* schedule — the optimizers re-derive them against their
+        re-timed task variables.
+    source_task:
+        Id of the task that left the residue.
+    blocking_task:
+        Id of the first task that would be corrupted without a wash.
+    """
+
+    node: str
+    fluid_type: str
+    contaminated_at: int
+    deadline: int
+    source_task: str
+    blocking_task: str
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.contaminated_at:
+            raise ValueError(
+                f"wash window for {self.node!r} is empty: "
+                f"[{self.contaminated_at}, {self.deadline}]"
+            )

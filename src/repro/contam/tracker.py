@@ -1,0 +1,140 @@
+"""Replay a schedule and track per-node contamination over time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.arch.chip import Chip
+from repro.assay.fluids import BUFFER_TYPE
+from repro.contam.events import ContaminationEvent, NodeUse
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+
+
+class ContaminationTracker:
+    """Chronological node-use and contamination index of a schedule.
+
+    The tracker never judges *necessity* (that is
+    :mod:`repro.contam.necessity`); it only answers which tasks touch which
+    nodes when, and which residues each task leaves behind.
+    """
+
+    def __init__(self, chip: Chip, schedule: Schedule):
+        self.chip = chip
+        self.schedule = schedule
+        self._uses: Dict[str, List[NodeUse]] = {}
+        self._events: List[ContaminationEvent] = []
+        self._replay()
+
+    # -- construction -----------------------------------------------------------
+
+    def _replay(self) -> None:
+        for task in self.schedule.tasks():
+            use = NodeUse(task.id, task.kind, task.start, task.end, task.fluid_type)
+            for node in self._washable_nodes(task):
+                self._uses.setdefault(node, []).append(use)
+            self._events.extend(self._residues(task))
+        for uses in self._uses.values():
+            uses.sort(key=lambda u: (u.start, u.end, u.task_id))
+        self._events.sort(key=lambda e: (e.time, e.node))
+
+    def _washable_nodes(self, task: ScheduledTask) -> List[str]:
+        """Nodes of the task that can hold residue (ports flush clean)."""
+        return [n for n in task.occupied_nodes if not self.chip.is_port(n)]
+
+    def _residues(self, task: ScheduledTask) -> List[ContaminationEvent]:
+        """Contamination events the task produces at its completion."""
+        if task.kind is TaskKind.WASH or task.fluid_type in (None, BUFFER_TYPE):
+            return []
+        return [
+            ContaminationEvent(node, task.fluid_type, task.end, task.id)
+            for node in self._washable_nodes(task)
+        ]
+
+    # -- queries -----------------------------------------------------------------
+
+    def events(self) -> List[ContaminationEvent]:
+        """All contamination events in time order."""
+        return list(self._events)
+
+    def uses_of(self, node: str) -> List[NodeUse]:
+        """Chronological uses of ``node``."""
+        return list(self._uses.get(node, ()))
+
+    def uses_after(self, node: str, time: int) -> List[NodeUse]:
+        """Uses of ``node`` starting at or after ``time``."""
+        return [u for u in self._uses.get(node, ()) if u.start >= time]
+
+    def contaminated_nodes(self) -> List[str]:
+        """Distinct nodes that receive residue at least once (``R_c``)."""
+        return sorted({e.node for e in self._events})
+
+
+@dataclass(frozen=True)
+class ContaminationViolation:
+    """A transport ran over a foreign residue — the wash plan is wrong."""
+
+    task_id: str
+    node: str
+    residue_type: str
+    fluid_type: str
+    time: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"task {self.task_id!r} crossed node {self.node!r} at t={self.time} "
+            f"carrying {self.fluid_type!r} over residue {self.residue_type!r}"
+        )
+
+
+def contamination_violations(chip: Chip, schedule: Schedule) -> List[ContaminationViolation]:
+    """Verify a final schedule (washes included) leaves no cross-contamination.
+
+    Replays all tasks in time order, maintaining each node's current
+    residue.  Wash tasks clear the residue of every node they traverse;
+    waste/removal flows tolerate residue (their fluid is discarded) but
+    still deposit their own.  A TRANSPORT crossing a node that holds a
+    *different* residue from an *unrelated* fluid lineage is a violation —
+    two inputs bound for the same mixing operation are related and may meet
+    freely.
+    """
+    residue: Dict[str, tuple] = {}  # node -> (fluid_type, lineage)
+    violations: List[ContaminationViolation] = []
+
+    def ordered(task: ScheduledTask) -> tuple:
+        return (task.start, task.end, task.id)
+
+    def lineage(task: ScheduledTask) -> frozenset:
+        if task.kind is TaskKind.OPERATION and task.op_id is not None:
+            return frozenset({task.op_id})
+        if task.edge is not None:
+            return frozenset(task.edge)
+        return frozenset()
+
+    for task in sorted(schedule.tasks(), key=ordered):
+        nodes = [n for n in task.occupied_nodes if not chip.is_port(n)]
+        task_lineage = lineage(task)
+        if task.kind is TaskKind.TRANSPORT:
+            for node in nodes:
+                current = residue.get(node)
+                if current is None or task.fluid_type is None:
+                    continue
+                res_type, res_lineage = current
+                if (
+                    res_type != task.fluid_type
+                    and res_type != BUFFER_TYPE
+                    and not (res_lineage & task_lineage)
+                ):
+                    violations.append(
+                        ContaminationViolation(
+                            task.id, node, res_type, task.fluid_type, task.start
+                        )
+                    )
+        if task.kind is TaskKind.WASH or task.fluid_type == BUFFER_TYPE:
+            for node in nodes:
+                residue.pop(node, None)
+        elif task.fluid_type is not None:
+            for node in nodes:
+                residue[node] = (task.fluid_type, task_lineage)
+    return violations

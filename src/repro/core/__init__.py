@@ -1,0 +1,34 @@
+"""PathDriver-Wash (PDW) — the paper's primary contribution.
+
+The optimizer takes a synthesis result (chip + wash-free schedule), runs the
+wash-necessity analysis of Section II-A, groups the required wash targets
+into wash operations, generates candidate port-to-port wash paths, and
+solves the ILP of Section III (Eqs. 1-26) to pick paths and time windows
+that minimize
+
+.. math::
+
+    \\alpha N_{wash} + \\beta L_{wash} + \\gamma T_{assay}.
+
+Entry point: :func:`~repro.core.pdw.optimize_washes` /
+:class:`~repro.core.pdw.PathDriverWash`.
+"""
+
+from repro.core.config import PDWConfig
+from repro.core.plan import WashOperation, WashPlan
+from repro.core.targets import WashCluster, cluster_requirements
+from repro.core.pathgen import candidate_paths
+from repro.core.path_ilp import exact_wash_path
+from repro.core.pdw import PathDriverWash, optimize_washes
+
+__all__ = [
+    "PDWConfig",
+    "PathDriverWash",
+    "WashCluster",
+    "WashOperation",
+    "WashPlan",
+    "candidate_paths",
+    "cluster_requirements",
+    "exact_wash_path",
+    "optimize_washes",
+]

@@ -1,0 +1,76 @@
+"""Configuration of the PDW optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.contam.necessity import NecessityPolicy
+from repro.errors import WashError
+
+
+@dataclass(frozen=True)
+class PDWConfig:
+    """Knobs of the PDW flow, defaulting to the paper's Section IV setup.
+
+    Attributes
+    ----------
+    alpha, beta, gamma:
+        Objective weights of Eq. (26) for the number of wash operations,
+        total wash-path length (mm) and assay completion time (s).
+    time_limit_s:
+        Wall-clock budget for the scheduling ILP.  The paper allows
+        15 minutes per benchmark; the default here is far smaller because
+        the decomposed model solves quickly.
+    mip_gap:
+        Relative optimality gap accepted from the solver.
+    max_candidates:
+        Candidate wash paths generated per wash operation.
+    merge_clusters:
+        Whether to merge compatible wash clusters (fewer, longer washes)
+        when the merge shortens the total path length.
+    max_wash_path_mm:
+        Physical cap on a single wash path.  A buffer flush is driven by
+        one pressure source, which bounds the channel length it can flush
+        reliably; merges that would exceed the cap are rejected.  The
+        default matches the per-wash lengths of the paper's Table II
+        results (~20-30 mm per wash operation).
+    path_mode:
+        ``"greedy"`` — candidate paths from the router (default);
+        ``"exact"`` — solve the cell-based path ILP of Eqs. (12)-(15) per
+        wash operation (slow; small chips only).
+    necessity:
+        Which wash-necessity analysis to apply.  The
+        :attr:`~repro.contam.necessity.NecessityPolicy.REUSE_ONLY` setting
+        disables the Type 2/3 exemptions (ablation of contribution 1).
+    enable_integration:
+        Whether excess removals may be folded into washes (ψ, Eq. 21;
+        ablation of contribution 2).
+    """
+
+    alpha: float = 0.3
+    beta: float = 0.3
+    gamma: float = 0.4
+    time_limit_s: float = 60.0
+    mip_gap: float = 0.01
+    max_candidates: int = 6
+    merge_clusters: bool = True
+    max_wash_path_mm: float = 33.0
+    path_mode: str = "greedy"
+    necessity: NecessityPolicy = NecessityPolicy.PDW
+    enable_integration: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.alpha, self.beta, self.gamma) < 0:
+            raise WashError("objective weights must be non-negative")
+        if self.alpha + self.beta + self.gamma <= 0:
+            raise WashError("at least one objective weight must be positive")
+        if self.time_limit_s <= 0:
+            raise WashError("time limit must be positive")
+        if self.max_candidates < 1:
+            raise WashError("need at least one candidate path per wash")
+        if self.path_mode not in ("greedy", "exact"):
+            raise WashError(f"unknown path mode {self.path_mode!r}")
+
+
+#: The exact parameterization used in the paper's experiments.
+PAPER_CONFIG = PDWConfig(alpha=0.3, beta=0.3, gamma=0.4)

@@ -1,0 +1,176 @@
+"""The PathDriver-Wash orchestrator.
+
+Pipeline (Section III, decomposed as described in DESIGN.md):
+
+1. replay the wash-free baseline schedule and collect contamination events
+   (:mod:`repro.contam.tracker`),
+2. wash-necessity analysis — Type 1/2/3 exemptions (Eqs. 9-11),
+3. group the remaining requirements into wash clusters
+   (:mod:`repro.core.targets`),
+4. generate candidate port-to-port wash paths per cluster
+   (:mod:`repro.core.pathgen`; optionally refined by the exact path ILP of
+   Eqs. 12-15),
+5. solve the scheduling ILP (Eqs. 1-8, 16-26) selecting wash paths and time
+   windows and folding excess removals into washes (ψ, Eq. 21),
+6. assemble and verify the final wash-aware schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.contam import (
+    ContaminationTracker,
+    contamination_violations,
+    wash_requirements,
+)
+from repro.core.config import PDWConfig
+from repro.core.pathgen import candidate_paths, integration_candidates
+from repro.core.path_ilp import exact_wash_path
+from repro.core.plan import WashOperation, WashPlan
+from repro.core.schedule_ilp import WashScheduleIlp
+from repro.core.targets import cluster_requirements
+from repro.errors import WashError
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+from repro.synth.synthesis import SynthesisResult
+
+
+class PathDriverWash:
+    """PDW wash optimization over a synthesis result."""
+
+    def __init__(self, synthesis: SynthesisResult, config: PDWConfig = PDWConfig()):
+        self.synthesis = synthesis
+        self.config = config
+
+    # -- pipeline ------------------------------------------------------------------
+
+    def run(self, verify: bool = True) -> WashPlan:
+        """Execute the full PDW pipeline and return the wash plan."""
+        chip = self.synthesis.chip
+        baseline = self.synthesis.schedule
+
+        tracker = ContaminationTracker(chip, baseline)
+        report = wash_requirements(tracker, self.synthesis.assay, self.config.necessity)
+        if not report.required:
+            plan = WashPlan(
+                method="PDW",
+                chip=chip,
+                schedule=baseline.copy(),
+                washes=[],
+                baseline_schedule=baseline,
+                solver_status="no-wash-needed",
+                notes={"necessity_events": float(report.total_events)},
+            )
+            return plan
+
+        clusters = cluster_requirements(
+            chip,
+            report.required,
+            merge=self.config.merge_clusters,
+            max_path_mm=self.config.max_wash_path_mm,
+        )
+        removals = baseline.tasks(TaskKind.REMOVAL)
+        candidates: Dict[str, List] = {}
+        for cluster in clusters:
+            pool = candidate_paths(
+                chip, sorted(cluster.targets), self.config.max_candidates
+            )
+            if self.config.enable_integration:
+                nearby = [
+                    rm.path
+                    for rm in removals
+                    if rm.start <= cluster.deadline + 10
+                    and rm.end >= cluster.release - 10
+                ]
+                for cand in integration_candidates(chip, sorted(cluster.targets), nearby):
+                    if cand not in pool:
+                        pool.append(cand)
+            if self.config.path_mode == "exact":
+                try:
+                    exact = exact_wash_path(chip, sorted(cluster.targets))
+                    if exact not in pool:
+                        pool.insert(0, exact)
+                except WashError:
+                    pass  # fall back to the greedy pool
+            candidates[cluster.id] = pool
+
+        ilp = WashScheduleIlp(chip, baseline, clusters, candidates, self.config)
+        outcome = ilp.solve()
+
+        schedule = Schedule()
+        absorbed_by: Dict[str, List[str]] = {}
+        for rm_id, cluster_id in outcome.absorbed.items():
+            absorbed_by.setdefault(cluster_id, []).append(rm_id)
+        for task in baseline.tasks():
+            if task.id in outcome.absorbed:
+                continue
+            schedule.add(task.at(outcome.starts[task.id]))
+
+        washes: List[WashOperation] = []
+        for cluster in clusters:
+            path = outcome.wash_paths[cluster.id]
+            start = outcome.wash_starts[cluster.id]
+            duration = outcome.wash_durations[cluster.id]
+            schedule.add(
+                ScheduledTask(
+                    id=f"wash:{cluster.id}",
+                    kind=TaskKind.WASH,
+                    start=start,
+                    duration=duration,
+                    path=path,
+                )
+            )
+            washes.append(
+                WashOperation(
+                    id=cluster.id,
+                    targets=cluster.targets,
+                    path=path,
+                    start=start,
+                    duration=duration,
+                    absorbed_removals=tuple(sorted(absorbed_by.get(cluster.id, []))),
+                )
+            )
+
+        plan = WashPlan(
+            method="PDW",
+            chip=chip,
+            schedule=schedule,
+            washes=washes,
+            baseline_schedule=baseline,
+            solver_status=outcome.status.value,
+            solve_time_s=outcome.solve_time_s,
+            notes={
+                "ilp_objective": outcome.objective,
+                "necessity_events": float(report.total_events),
+                "type1_exempt": float(report.type1_exempt),
+                "type2_exempt": float(report.type2_exempt),
+                "type3_exempt": float(report.type3_exempt),
+                "requirements": float(len(report.required)),
+            },
+        )
+        if verify:
+            verify_plan(plan)
+        return plan
+
+
+def verify_plan(plan: WashPlan) -> None:
+    """Raise :class:`WashError` unless the plan is conflict- and residue-free."""
+    conflicts = plan.schedule.conflicts()
+    if conflicts:
+        raise WashError(f"{plan.method} plan has resource conflicts: {conflicts[:5]}")
+    violations = contamination_violations(plan.chip, plan.schedule)
+    if violations:
+        raise WashError(
+            f"{plan.method} plan leaves cross-contamination: "
+            + "; ".join(str(v) for v in violations[:5])
+        )
+
+
+def optimize_washes(
+    synthesis: SynthesisResult,
+    config: PDWConfig = PDWConfig(),
+    verify: bool = True,
+) -> WashPlan:
+    """Convenience wrapper: run PDW on a synthesis result."""
+    return PathDriverWash(synthesis, config).run(verify=verify)

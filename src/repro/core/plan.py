@@ -1,0 +1,127 @@
+"""Wash plan results and the metrics reported in the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.arch.chip import Chip, FlowPath
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import TaskKind
+
+
+@dataclass(frozen=True)
+class WashOperation:
+    """One executed wash operation :math:`w_j`."""
+
+    id: str
+    targets: FrozenSet[str]
+    path: FlowPath
+    start: int
+    duration: int
+    #: Removal-task ids absorbed by this wash (the ψ = 1 integrations).
+    absorbed_removals: Tuple[str, ...] = ()
+
+    @property
+    def end(self) -> int:
+        """Exclusive end tick."""
+        return self.start + self.duration
+
+
+@dataclass
+class WashPlan:
+    """A complete wash-optimized assay execution.
+
+    Produced by both PDW and the baselines so the experiment harness can
+    compare them uniformly.  All Table II / Fig. 4 / Fig. 5 metrics are
+    derived properties.
+    """
+
+    method: str
+    chip: Chip
+    schedule: Schedule
+    washes: List[WashOperation]
+    baseline_schedule: Schedule
+    solver_status: str = "n/a"
+    solve_time_s: float = 0.0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    # -- Table II metrics ---------------------------------------------------------
+
+    @property
+    def n_wash(self) -> int:
+        """:math:`N_{wash}` — number of wash operations."""
+        return len(self.washes)
+
+    @property
+    def l_wash_mm(self) -> float:
+        """:math:`L_{wash}` — total physical length of all wash paths (mm)."""
+        return sum(self.chip.path_length_mm(w.path) for w in self.washes)
+
+    @property
+    def t_assay(self) -> int:
+        """:math:`T_{assay}` — completion time of the wash-aware schedule."""
+        return self.schedule.makespan
+
+    @property
+    def baseline_makespan(self) -> int:
+        """Completion time of the wash-free schedule."""
+        return self.baseline_schedule.makespan
+
+    @property
+    def t_delay(self) -> int:
+        """:math:`T_{delay}` — assay delay caused by wash operations."""
+        return self.t_assay - self.baseline_makespan
+
+    # -- Fig. 4 / Fig. 5 metrics -----------------------------------------------------
+
+    @property
+    def average_waiting_time(self) -> float:
+        """Average waiting time of biochemical operations (Fig. 4).
+
+        Mean, over operations, of how much later each starts compared to
+        the wash-free baseline.
+        """
+        ops = self.schedule.operations()
+        if not ops:
+            return 0.0
+        total = 0
+        for task in ops:
+            base = self.baseline_schedule.get(task.id)
+            total += max(0, task.start - base.start)
+        return total / len(ops)
+
+    @property
+    def total_wash_time(self) -> int:
+        """Total wash time (Fig. 5): sum of wash-operation durations."""
+        return sum(w.duration for w in self.washes)
+
+    @property
+    def integrated_removals(self) -> int:
+        """How many excess-removal tasks were absorbed into washes (ψ = 1)."""
+        return sum(len(w.absorbed_removals) for w in self.washes)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, float]:
+        """All headline metrics as a flat mapping."""
+        return {
+            "n_wash": float(self.n_wash),
+            "l_wash_mm": round(self.l_wash_mm, 2),
+            "t_assay_s": float(self.t_assay),
+            "t_delay_s": float(self.t_delay),
+            "avg_wait_s": round(self.average_waiting_time, 3),
+            "total_wash_time_s": float(self.total_wash_time),
+            "integrated_removals": float(self.integrated_removals),
+        }
+
+    def wash_tasks(self) -> List[str]:
+        """Ids of the WASH tasks present in the final schedule."""
+        return [t.id for t in self.schedule.tasks(TaskKind.WASH)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WashPlan({self.method}, N={self.n_wash}, "
+            f"L={self.l_wash_mm:.0f}mm, T_assay={self.t_assay}s, "
+            f"delay={self.t_delay}s)"
+        )

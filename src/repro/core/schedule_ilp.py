@@ -1,0 +1,443 @@
+"""The PDW scheduling ILP — Eqs. (1)-(26) over re-timed task variables.
+
+Decision variables
+------------------
+* one integer start per baseline task (operations keep their durations,
+  Eq. 1; precedences follow Eqs. 2, 4, 5),
+* one integer start per wash operation plus one binary per candidate wash
+  path (the selected candidate determines the wash duration via Eq. 17 and
+  its contribution to :math:`L_{wash}`, Eq. 25),
+* ordering binaries for wash/task and wash/wash node conflicts
+  (Eqs. 19, 20),
+* integration binaries :math:`\\psi` folding an excess-removal task into a
+  wash whose path covers it (Eqs. 7, 21).
+
+Relative order among *baseline* tasks that share chip nodes is kept as in
+the baseline schedule (the paper's monolithic model also re-orders them;
+fixing the order is the decomposition that keeps the model tractable — see
+DESIGN.md).  Everything may shift in time, so wash windows (Eq. 16) are
+enforced against task variables and the model is always feasible: a tight
+window simply delays the blocking task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.chip import Chip, FlowPath
+from repro.core.config import PDWConfig
+from repro.core.targets import WashCluster
+from repro.errors import WashError
+from repro.ilp import LinExpr, Model, SolveStatus, Variable
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+
+
+@dataclass
+class IlpWashOutcome:
+    """Raw solver outcome, consumed by the PDW orchestrator."""
+
+    status: SolveStatus
+    objective: float
+    solve_time_s: float
+    starts: Dict[str, int]
+    wash_starts: Dict[str, int]
+    wash_paths: Dict[str, FlowPath]
+    wash_durations: Dict[str, int]
+    absorbed: Dict[str, str] = field(default_factory=dict)  # removal id -> cluster id
+    model_stats: str = ""
+
+
+class WashScheduleIlp:
+    """Builds and solves the PDW scheduling model."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        baseline: Schedule,
+        clusters: Sequence[WashCluster],
+        candidates: Dict[str, List[FlowPath]],
+        config: PDWConfig = PDWConfig(),
+    ):
+        self.chip = chip
+        self.baseline = baseline
+        self.clusters = list(clusters)
+        self.candidates = candidates
+        self.config = config
+        for cluster in self.clusters:
+            if not candidates.get(cluster.id):
+                raise WashError(f"cluster {cluster.id!r} has no candidate paths")
+
+        self.tasks: List[ScheduledTask] = self.baseline.tasks()
+        self.horizon = self._horizon()
+        self.model = Model("pdw-schedule", big_m=float(self.horizon))
+        self._t: Dict[str, Variable] = {}
+        self._wash_t: Dict[str, Variable] = {}
+        self._x: Dict[Tuple[str, int], Variable] = {}
+        self._psi: Dict[Tuple[str, str], Variable] = {}
+        self._psi_sum: Dict[str, LinExpr] = {}
+
+    # -- model assembly ---------------------------------------------------------
+
+    def _horizon(self) -> int:
+        wash_worst = sum(
+            max(self.chip.wash_time_s(p) for p in self.candidates[c.id])
+            for c in self.clusters
+        )
+        return self.baseline.makespan + wash_worst + 10
+
+    def _duration_expr(self, task: ScheduledTask) -> LinExpr:
+        """Effective duration: removals shrink to zero when absorbed (Eq. 7)."""
+        base = LinExpr({}, float(task.duration))
+        psi = self._psi_sum.get(task.id)
+        if psi is not None:
+            return base - task.duration * psi
+        return base
+
+    def _end_expr(self, task: ScheduledTask) -> LinExpr:
+        return LinExpr.from_any(self._t[task.id]) + self._duration_expr(task)
+
+    def build(self) -> None:
+        """Assemble all variables and constraints."""
+        m = self.model
+        for task in self.tasks:
+            # Washes may only delay the assay, never re-pack it tighter
+            # than the baseline, so each task keeps its baseline start as
+            # a lower bound (this also guarantees T_delay >= 0).
+            self._t[task.id] = m.add_integer_var(
+                f"t[{task.id}]", task.start, self.horizon
+            )
+        for cluster in self.clusters:
+            self._wash_t[cluster.id] = m.add_integer_var(
+                f"tw[{cluster.id}]", 0, self.horizon
+            )
+            cands = self.candidates[cluster.id]
+            xs = [m.add_binary_var(f"x[{cluster.id},{i}]") for i in range(len(cands))]
+            for i, x in enumerate(xs):
+                self._x[(cluster.id, i)] = x
+            m.add_constr(LinExpr.sum(xs) == 1, f"one_path[{cluster.id}]")
+
+        self._add_integration_vars()
+        self._add_precedences()
+        self._add_baseline_order()
+        self._add_wash_windows()
+        self._add_wash_conflicts()
+        self._add_integration_constraints()
+        self._add_objective()
+
+    # -- ψ integration (Eqs. 7, 21) ------------------------------------------------
+
+    def _add_integration_vars(self) -> None:
+        if not self.config.enable_integration:
+            return
+        m = self.model
+        removals = [t for t in self.tasks if t.kind is TaskKind.REMOVAL]
+        for rm in removals:
+            rm_nodes = set(rm.path or ())
+            terms: List[Variable] = []
+            for cluster in self.clusters:
+                covering = [
+                    i
+                    for i, cand in enumerate(self.candidates[cluster.id])
+                    if rm_nodes <= set(cand)
+                ]
+                if not covering:
+                    continue
+                psi = m.add_binary_var(f"psi[{rm.id},{cluster.id}]")
+                self._psi[(rm.id, cluster.id)] = psi
+                m.add_constr(
+                    LinExpr.from_any(psi)
+                    <= LinExpr.sum(self._x[(cluster.id, i)] for i in covering),
+                    f"psi_cover[{rm.id},{cluster.id}]",
+                )
+                terms.append(psi)
+            if terms:
+                total = LinExpr.sum(terms)
+                m.add_constr(total <= 1, f"psi_once[{rm.id}]")
+                self._psi_sum[rm.id] = total
+
+    # -- precedence constraints (Eqs. 2, 4, 5) ----------------------------------------
+
+    def _add_precedences(self) -> None:
+        m = self.model
+        op_task: Dict[str, ScheduledTask] = {
+            t.op_id: t for t in self.tasks if t.kind is TaskKind.OPERATION
+        }
+        by_edge: Dict[Tuple[str, str], Dict[TaskKind, ScheduledTask]] = {}
+        for task in self.tasks:
+            if task.edge is not None:
+                by_edge.setdefault(task.edge, {})[task.kind] = task
+
+        for edge, group in by_edge.items():
+            src, dst = edge
+            transport = group.get(TaskKind.TRANSPORT)
+            removal = group.get(TaskKind.REMOVAL)
+            waste = group.get(TaskKind.WASTE)
+            producer = op_task.get(src)
+            if transport is not None and producer is not None:
+                m.add_constr(
+                    LinExpr.from_any(self._t[transport.id]) >= self._end_expr(producer),
+                    f"prec_tr[{transport.id}]",
+                )
+            if removal is not None and transport is not None:
+                m.add_constr(
+                    LinExpr.from_any(self._t[removal.id]) >= self._end_expr(transport),
+                    f"prec_rm[{removal.id}]",
+                )
+            consumer = op_task.get(dst)
+            if consumer is not None:
+                if removal is not None:
+                    m.add_constr(
+                        LinExpr.from_any(self._t[consumer.id]) >= self._end_expr(removal),
+                        f"prec_op_rm[{consumer.id},{removal.id}]",
+                    )
+                elif transport is not None:
+                    m.add_constr(
+                        LinExpr.from_any(self._t[consumer.id]) >= self._end_expr(transport),
+                        f"prec_op_tr[{consumer.id},{transport.id}]",
+                    )
+                elif producer is not None:
+                    # Same-device hand-off: no transport task exists.
+                    m.add_constr(
+                        LinExpr.from_any(self._t[consumer.id]) >= self._end_expr(producer),
+                        f"prec_op_op[{consumer.id},{producer.id}]",
+                    )
+            if waste is not None and producer is not None:
+                m.add_constr(
+                    LinExpr.from_any(self._t[waste.id]) >= self._end_expr(producer),
+                    f"prec_ws[{waste.id}]",
+                )
+
+    # -- fixed relative order of node-sharing baseline tasks (Eqs. 3, 8) ---------------
+
+    def _add_baseline_order(self) -> None:
+        m = self.model
+        ordered = sorted(self.tasks, key=lambda t: (t.start, t.end, t.id))
+        for i, a in enumerate(ordered):
+            nodes_a = set(a.occupied_nodes)
+            for b in ordered[i + 1:]:
+                if a.kind is TaskKind.OPERATION and b.kind is TaskKind.OPERATION:
+                    if a.device != b.device:
+                        continue
+                elif not (nodes_a & set(b.occupied_nodes)):
+                    continue
+                m.add_constr(
+                    LinExpr.from_any(self._t[b.id]) >= self._end_expr(a),
+                    f"order[{a.id},{b.id}]",
+                )
+
+    # -- wash windows (Eq. 16) -----------------------------------------------------------
+
+    def _wash_duration(self, cluster: WashCluster) -> LinExpr:
+        cands = self.candidates[cluster.id]
+        return LinExpr.sum(
+            self.chip.wash_time_s(cand) * LinExpr.from_any(self._x[(cluster.id, i)])
+            for i, cand in enumerate(cands)
+        )
+
+    def _wash_length(self, cluster: WashCluster) -> LinExpr:
+        cands = self.candidates[cluster.id]
+        return LinExpr.sum(
+            self.chip.path_length_mm(cand) * LinExpr.from_any(self._x[(cluster.id, i)])
+            for i, cand in enumerate(cands)
+        )
+
+    def _add_wash_windows(self) -> None:
+        m = self.model
+        for cluster in self.clusters:
+            tw = self._wash_t[cluster.id]
+            dur = self._wash_duration(cluster)
+            for source_id in sorted(cluster.source_tasks):
+                source = self.baseline.get(source_id)
+                m.add_constr(
+                    LinExpr.from_any(tw) >= self._end_expr(source),
+                    f"wash_after[{cluster.id},{source_id}]",
+                )
+            for blocker_id in sorted(cluster.blocking_tasks):
+                m.add_constr(
+                    LinExpr.from_any(self._t[blocker_id]) >= LinExpr.from_any(tw) + dur,
+                    f"wash_before[{cluster.id},{blocker_id}]",
+                )
+
+    # -- wash resource conflicts (Eqs. 19, 20) ----------------------------------------------
+
+    def _add_wash_conflicts(self) -> None:
+        m = self.model
+        big = float(self.horizon)
+        for cluster in self.clusters:
+            tw = LinExpr.from_any(self._wash_t[cluster.id])
+            dur = self._wash_duration(cluster)
+            exempt = cluster.source_tasks | cluster.blocking_tasks
+            mu_of: Dict[str, Variable] = {}
+            for i, cand in enumerate(self.candidates[cluster.id]):
+                cand_nodes = set(cand)
+                x = LinExpr.from_any(self._x[(cluster.id, i)])
+                for task in self.tasks:
+                    if task.id in exempt:
+                        continue
+                    if not (cand_nodes & set(task.occupied_nodes)):
+                        continue
+                    mu = mu_of.get(task.id)
+                    if mu is None:
+                        mu = m.add_binary_var(f"mu[{cluster.id},{task.id}]")
+                        mu_of[task.id] = mu
+                    psi = self._psi.get((task.id, cluster.id))
+                    absorbed_slack = (
+                        big * LinExpr.from_any(psi) if psi is not None else LinExpr()
+                    )
+                    tp = LinExpr.from_any(self._t[task.id])
+                    # μ = 1: wash after the task; μ = 0: task after the wash.
+                    m.add_constr(
+                        tw
+                        >= tp
+                        + self._duration_expr(task)
+                        - big * (1 - LinExpr.from_any(mu))
+                        - big * (1 - x)
+                        - absorbed_slack,
+                        f"w_after[{cluster.id},{i},{task.id}]",
+                    )
+                    m.add_constr(
+                        tp
+                        >= tw
+                        + dur
+                        - big * LinExpr.from_any(mu)
+                        - big * (1 - x)
+                        - absorbed_slack,
+                        f"w_before[{cluster.id},{i},{task.id}]",
+                    )
+
+        # wash-wash conflicts (Eq. 20)
+        for a_idx, a in enumerate(self.clusters):
+            for b in self.clusters[a_idx + 1:]:
+                eta: Optional[Variable] = None
+                for i, cand_a in enumerate(self.candidates[a.id]):
+                    for j, cand_b in enumerate(self.candidates[b.id]):
+                        if not (set(cand_a) & set(cand_b)):
+                            continue
+                        if eta is None:
+                            eta = m.add_binary_var(f"eta[{a.id},{b.id}]")
+                        slack = big * (
+                            2
+                            - LinExpr.from_any(self._x[(a.id, i)])
+                            - LinExpr.from_any(self._x[(b.id, j)])
+                        )
+                        ta = LinExpr.from_any(self._wash_t[a.id])
+                        tb = LinExpr.from_any(self._wash_t[b.id])
+                        m.add_constr(
+                            ta
+                            >= tb + self._wash_duration(b)
+                            - big * (1 - LinExpr.from_any(eta))
+                            - slack,
+                            f"ww_a[{a.id},{b.id},{i},{j}]",
+                        )
+                        m.add_constr(
+                            tb
+                            >= ta + self._wash_duration(a)
+                            - big * LinExpr.from_any(eta)
+                            - slack,
+                            f"ww_b[{a.id},{b.id},{i},{j}]",
+                        )
+
+    # -- ψ timing constraints (Eq. 21) ---------------------------------------------------
+
+    def _add_integration_constraints(self) -> None:
+        m = self.model
+        big = float(self.horizon)
+        by_edge: Dict[Tuple[str, str], Dict[TaskKind, ScheduledTask]] = {}
+        for task in self.tasks:
+            if task.edge is not None:
+                by_edge.setdefault(task.edge, {})[task.kind] = task
+        op_task: Dict[str, ScheduledTask] = {
+            t.op_id: t for t in self.tasks if t.kind is TaskKind.OPERATION
+        }
+        for (rm_id, cluster_id), psi in self._psi.items():
+            rm = self.baseline.get(rm_id)
+            cluster = next(c for c in self.clusters if c.id == cluster_id)
+            tw = LinExpr.from_any(self._wash_t[cluster_id])
+            dur = self._wash_duration(cluster)
+            slack = big * (1 - LinExpr.from_any(psi))
+            group = by_edge.get(rm.edge or ("", ""), {})
+            transport = group.get(TaskKind.TRANSPORT)
+            consumer = op_task.get(rm.edge[1]) if rm.edge else None
+            if transport is None or consumer is None:
+                # Cannot prove the wash covers the removal's timing role.
+                m.add_constr(LinExpr.from_any(psi) <= 0, f"psi_off[{rm_id},{cluster_id}]")
+                continue
+            if transport is not None:
+                # The wash plays the removal's role: start after the
+                # transport that cached the excess fluid...
+                m.add_constr(
+                    tw >= self._end_expr(transport) - slack,
+                    f"psi_after[{rm_id},{cluster_id}]",
+                )
+            # ... and finish before the consuming operation starts.
+            m.add_constr(
+                LinExpr.from_any(self._t[consumer.id]) >= tw + dur - slack,
+                f"psi_before[{rm_id},{cluster_id}]",
+            )
+
+    # -- objective (Eq. 26) ------------------------------------------------------------------
+
+    def _add_objective(self) -> None:
+        m = self.model
+        t_assay = m.add_integer_var("T_assay", 0, self.horizon)
+        for task in self.tasks:
+            m.add_constr(
+                LinExpr.from_any(t_assay) >= self._end_expr(task),
+                f"T_ge[{task.id}]",
+            )
+        for cluster in self.clusters:
+            m.add_constr(
+                LinExpr.from_any(t_assay)
+                >= LinExpr.from_any(self._wash_t[cluster.id]) + self._wash_duration(cluster),
+                f"T_ge_wash[{cluster.id}]",
+            )
+        length_total = LinExpr.sum(self._wash_length(c) for c in self.clusters)
+        objective = (
+            self.config.alpha * len(self.clusters)
+            + self.config.beta * length_total
+            + self.config.gamma * LinExpr.from_any(t_assay)
+        )
+        # Tiny pressure so tasks do not float needlessly late.
+        drift = LinExpr.sum(LinExpr.from_any(v) for v in self._t.values())
+        self.model.set_objective(objective + 1e-6 * drift)
+        self._t_assay = t_assay
+
+    # -- solving / extraction -------------------------------------------------------------------
+
+    def solve(self) -> IlpWashOutcome:
+        """Build (if needed), solve, and extract the outcome."""
+        if not self.model.variables:
+            self.build()
+        solution = self.model.solve(
+            time_limit_s=self.config.time_limit_s, mip_gap=self.config.mip_gap
+        )
+        if not solution.status.has_solution:
+            raise WashError(f"PDW scheduling ILP failed: {solution.status.value}")
+
+        starts = {task.id: solution.rounded(self._t[task.id]) for task in self.tasks}
+        wash_starts, wash_paths, wash_durs = {}, {}, {}
+        for cluster in self.clusters:
+            wash_starts[cluster.id] = solution.rounded(self._wash_t[cluster.id])
+            for i, cand in enumerate(self.candidates[cluster.id]):
+                if solution.rounded(self._x[(cluster.id, i)]) == 1:
+                    wash_paths[cluster.id] = cand
+                    wash_durs[cluster.id] = self.chip.wash_time_s(cand)
+                    break
+        absorbed = {
+            rm_id: cluster_id
+            for (rm_id, cluster_id), psi in self._psi.items()
+            if solution.rounded(psi) == 1
+        }
+        return IlpWashOutcome(
+            status=solution.status,
+            objective=float(solution.objective or 0.0),
+            solve_time_s=solution.solve_time_s,
+            starts=starts,
+            wash_starts=wash_starts,
+            wash_paths=wash_paths,
+            wash_durations=wash_durs,
+            absorbed=absorbed,
+            model_stats=self.model.stats(),
+        )

@@ -1,0 +1,195 @@
+"""Grouping wash requirements into wash operations.
+
+A :class:`WashCluster` is the unit the scheduling ILP reasons about: a set
+of contaminated nodes washed by one buffer flow, together with the tasks
+that produce the residues (the wash must start after they end) and the
+tasks that would be corrupted (the wash must finish before they start).
+
+Initial clusters group the requirements left by one contaminating task —
+one flow leaves one contiguous contaminated path, naturally washable by one
+wash — and a merge pass then combines clusters whose windows overlap when a
+single port-to-port path covers the union *and is shorter than two separate
+paths* (Eq. 26 trades α per operation against β per millimetre).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.arch.chip import Chip, FlowPath
+from repro.arch.routing import Router, is_simple
+from repro.contam.events import WashRequirement
+from repro.errors import RoutingError
+
+
+@dataclass
+class WashCluster:
+    """A set of wash targets served by one wash operation."""
+
+    id: str
+    requirements: List[WashRequirement] = field(default_factory=list)
+
+    @property
+    def targets(self) -> FrozenSet[str]:
+        """Nodes this wash must cover (the paper's :math:`wt_i`)."""
+        return frozenset(r.node for r in self.requirements)
+
+    @property
+    def source_tasks(self) -> FrozenSet[str]:
+        """Tasks whose completion releases the wash (:math:`t_{j,e}`)."""
+        return frozenset(r.source_task for r in self.requirements)
+
+    @property
+    def blocking_tasks(self) -> FrozenSet[str]:
+        """Tasks the wash must finish before (:math:`t_{j,s}`)."""
+        return frozenset(r.blocking_task for r in self.requirements)
+
+    @property
+    def release(self) -> int:
+        """Earliest baseline tick at which every target is contaminated."""
+        return max(r.contaminated_at for r in self.requirements)
+
+    @property
+    def deadline(self) -> int:
+        """Latest baseline tick by which the wash must complete."""
+        return min(r.deadline for r in self.requirements)
+
+    def window_overlaps(self, other: "WashCluster") -> bool:
+        """Whether the two baseline wash windows intersect."""
+        return self.release <= other.deadline and other.release <= self.deadline
+
+
+def _coverable(router: Router, targets: Sequence[str], max_candidates: int = 1) -> Optional[FlowPath]:
+    """Shortest *simple* port-to-port path covering ``targets``, or ``None``.
+
+    Merges are only accepted when one buffer flush can cover the union
+    without doubling back through a channel.
+    """
+    try:
+        path = router.port_to_port_candidates(sorted(targets), max_candidates)[0]
+    except RoutingError:
+        return None
+    return path if is_simple(path) else None
+
+
+def cluster_requirements(
+    chip: Chip,
+    requirements: Sequence[WashRequirement],
+    merge: bool = True,
+    max_path_mm: float = float("inf"),
+) -> List[WashCluster]:
+    """Group ``requirements`` into wash clusters.
+
+    Requirements are first grouped by contaminating task; clusters are then
+    greedily merged (earliest deadline first) while a merge remains
+    port-to-port coverable, shortens the total wash-path length, and keeps
+    the merged path within ``max_path_mm``.
+    """
+    router = Router(chip)
+
+    by_source: Dict[Tuple[str, ...], List[WashRequirement]] = {}
+    for req in requirements:
+        by_source.setdefault((req.source_task,), []).append(req)
+
+    clusters = [
+        WashCluster(id=f"w{i}", requirements=reqs)
+        for i, reqs in enumerate(
+            (by_source[key] for key in sorted(by_source)), start=1
+        )
+    ]
+    if not merge or len(clusters) < 2:
+        return clusters
+    return _merged_clusters(chip, clusters, max_path_mm)
+
+
+def _merged_clusters(
+    chip: Chip, clusters: List[WashCluster], max_path_mm: float
+) -> List[WashCluster]:
+    router = Router(chip)
+
+    # Greedy pairwise merging, cheapest-deadline first.
+    clusters.sort(key=lambda c: (c.deadline, c.id))
+    lengths: Dict[str, float] = {}
+    paths: Dict[str, Optional[FlowPath]] = {}
+    for cluster in clusters:
+        paths[cluster.id] = _coverable(router, sorted(cluster.targets))
+        lengths[cluster.id] = (
+            chip.path_length_mm(paths[cluster.id]) if paths[cluster.id] else float("inf")
+        )
+
+    return _merge_pass(chip, clusters, paths, lengths, max_path_mm)
+
+
+def merge_by_blocker(
+    chip: Chip,
+    clusters: List[WashCluster],
+    first_blocker: Dict[str, str],
+    max_path_mm: float = float("inf"),
+) -> List[WashCluster]:
+    """Merge clusters that guard the *same* first blocking task.
+
+    This is the grouping even a demand-driven heuristic performs: all the
+    spots one upcoming task needs clean are flushed together, as long as
+    one flush can physically cover them (``max_path_mm``).  Used by the
+    DAWO baseline; ``first_blocker`` maps cluster id to its earliest
+    blocking task.
+    """
+    router = Router(chip)
+    grouped: Dict[str, WashCluster] = {}
+    out: List[WashCluster] = []
+    for cluster in clusters:
+        key = first_blocker[cluster.id]
+        host = grouped.get(key)
+        if host is None:
+            grouped[key] = cluster
+            out.append(cluster)
+            continue
+        union = sorted(host.targets | cluster.targets)
+        path = _coverable(router, union)
+        if path is None or chip.path_length_mm(path) > max_path_mm:
+            out.append(cluster)
+            continue
+        host.requirements.extend(cluster.requirements)
+    for i, cluster in enumerate(out, start=1):
+        cluster.id = f"w{i}"
+    return out
+
+
+def _merge_pass(
+    chip: Chip,
+    clusters: List[WashCluster],
+    paths: Dict[str, Optional[FlowPath]],
+    lengths: Dict[str, float],
+    max_path_mm: float = float("inf"),
+) -> List[WashCluster]:
+    """Greedy pairwise merging while it shortens the total path length."""
+    router = Router(chip)
+    merged = True
+    while merged:
+        merged = False
+        for i, a in enumerate(clusters):
+            for b in clusters[i + 1:]:
+                if not a.window_overlaps(b):
+                    continue
+                union = sorted(a.targets | b.targets)
+                path = _coverable(router, union)
+                if path is None:
+                    continue
+                new_length = chip.path_length_mm(path)
+                if new_length >= lengths[a.id] + lengths[b.id]:
+                    continue
+                if new_length > max_path_mm:
+                    continue
+                a.requirements.extend(b.requirements)
+                clusters.remove(b)
+                paths[a.id] = path
+                lengths[a.id] = chip.path_length_mm(path)
+                merged = True
+                break
+            if merged:
+                break
+
+    for i, cluster in enumerate(clusters, start=1):
+        cluster.id = f"w{i}"
+    return clusters

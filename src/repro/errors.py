@@ -1,0 +1,73 @@
+"""Exception hierarchy for the PathDriver-Wash reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream users can catch a single base class.  Sub-hierarchies mirror the
+package layout: modeling errors (:class:`IlpError`), architecture errors
+(:class:`ArchitectureError`), assay errors (:class:`AssayError`), synthesis
+errors (:class:`SynthesisError`) and wash-optimization errors
+(:class:`WashError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IlpError(ReproError):
+    """Base class for ILP modeling/solving errors."""
+
+
+class ModelError(IlpError):
+    """An ILP model was built inconsistently (bad bounds, unknown variable...)."""
+
+
+class SolverError(IlpError):
+    """The backend solver failed or returned an unusable status."""
+
+
+class InfeasibleError(SolverError):
+    """The model was proven infeasible."""
+
+    def __init__(self, message: str = "model is infeasible") -> None:
+        super().__init__(message)
+
+
+class UnboundedError(SolverError):
+    """The model was proven unbounded."""
+
+    def __init__(self, message: str = "model is unbounded") -> None:
+        super().__init__(message)
+
+
+class ArchitectureError(ReproError):
+    """Invalid chip architecture (overlapping devices, detached ports...)."""
+
+
+class GridError(ArchitectureError):
+    """A grid coordinate is out of range or otherwise invalid."""
+
+
+class RoutingError(ArchitectureError):
+    """No route could be established on the channel network."""
+
+
+class AssayError(ReproError):
+    """Invalid bioassay specification (cycles, dangling edges...)."""
+
+
+class SynthesisError(ReproError):
+    """Architectural synthesis failed (unbindable op, unplaceable device...)."""
+
+
+class SchedulingError(ReproError):
+    """A schedule is inconsistent (overlap on a device, negative times...)."""
+
+
+class WashError(ReproError):
+    """Wash optimization failed (no feasible wash path, deadline violated...)."""
+
+
+class BenchmarkError(ReproError):
+    """Unknown benchmark name or malformed benchmark definition."""

@@ -1,0 +1,116 @@
+"""Ablations of the three PDW techniques (motivated by Section II).
+
+Variants:
+
+* **full** — the complete method,
+* **no-necessity** — Type 1/2/3 analysis replaced by wash-on-any-reuse
+  (ablates contribution 1, Section II-A),
+* **no-integration** — ψ integration disabled; excess removals always
+  execute separately (ablates contribution 2, Section II-B),
+* **no-merge** — wash clusters never merged, one wash per contaminating
+  task (ablates the path/operation sharing of Section II-C),
+* **eager** — necessary washes executed immediately instead of in
+  optimized time windows (the strawman of Section II-A's introduction;
+  uses :func:`repro.baselines.immediate.immediate_wash_plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import immediate_wash_plan
+from repro.bench import benchmark, load_benchmark
+from repro.contam import NecessityPolicy
+from repro.core import PDWConfig, optimize_washes
+from repro.core.plan import WashPlan
+from repro.experiments.reporting import render_table
+from repro.synth import synthesize
+
+#: Default benchmarks for the ablation sweep (small + medium + large).
+DEFAULT_ABLATION_BENCHMARKS = ("PCR", "IVD", "Synthetic1")
+
+
+@dataclass(frozen=True)
+class AblationVariant:
+    """A named PDW configuration variant."""
+
+    name: str
+    description: str
+
+
+VARIANTS = (
+    AblationVariant("full", "complete PDW"),
+    AblationVariant("no-necessity", "wash on any reuse (no Type 1/2/3)"),
+    AblationVariant("no-integration", "no removal-into-wash folding (ψ=0)"),
+    AblationVariant("no-merge", "one wash per contaminating task"),
+    AblationVariant("eager", "washes executed immediately"),
+)
+
+
+def _variant_config(name: str, base: PDWConfig) -> PDWConfig:
+    if name in ("full", "eager"):
+        return base
+    if name == "no-necessity":
+        return dc_replace(base, necessity=NecessityPolicy.REUSE_ONLY)
+    if name == "no-integration":
+        return dc_replace(base, enable_integration=False)
+    if name == "no-merge":
+        return dc_replace(base, merge_clusters=False)
+    raise ValueError(f"unknown ablation variant {name!r}")
+
+
+_CACHE: Dict[tuple, Dict[str, WashPlan]] = {}
+
+
+def run_ablation(
+    bench_name: str,
+    base: Optional[PDWConfig] = None,
+    use_cache: bool = True,
+) -> Dict[str, WashPlan]:
+    """Run all variants on one benchmark (cached per config in-process)."""
+    cfg = base or PDWConfig(time_limit_s=60.0)
+    key = (bench_name, cfg)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    spec = benchmark(bench_name)
+    synthesis = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+    plans: Dict[str, WashPlan] = {}
+    for variant in VARIANTS:
+        if variant.name == "eager":
+            plans[variant.name] = immediate_wash_plan(synthesis)
+        else:
+            plans[variant.name] = optimize_washes(
+                synthesis, _variant_config(variant.name, cfg)
+            )
+    if use_cache:
+        _CACHE[key] = plans
+    return plans
+
+
+def ablation_report(
+    names: Optional[Sequence[str]] = None,
+    base: Optional[PDWConfig] = None,
+) -> str:
+    """Render the ablation sweep as text."""
+    bench_names = list(names or DEFAULT_ABLATION_BENCHMARKS)
+    headers = ["Benchmark", "Variant", "N_wash", "L_wash(mm)", "T_delay(s)", "T_assay(s)", "ψ"]
+    rows: List[List[str]] = []
+    for bench_name in bench_names:
+        plans = run_ablation(bench_name, base)
+        for variant in VARIANTS:
+            plan = plans[variant.name]
+            m = plan.metrics()
+            rows.append(
+                [
+                    bench_name,
+                    variant.name,
+                    f"{m['n_wash']:.0f}",
+                    f"{m['l_wash_mm']:.1f}",
+                    f"{m['t_delay_s']:.0f}",
+                    f"{m['t_assay_s']:.0f}",
+                    f"{m['integrated_removals']:.0f}",
+                ]
+            )
+    title = "Ablation: contribution of each PDW technique\n"
+    return title + render_table(headers, rows)

@@ -1,0 +1,38 @@
+"""Fig. 4 — average waiting time of biochemical operations.
+
+PDW assigns wash operations to optimized time windows so they run
+concurrently with other fluidic tasks; the waiting time a biochemical
+operation accumulates relative to the wash-free baseline is therefore much
+shorter than under DAWO's sweep-line insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import PDWConfig
+from repro.experiments.reporting import render_series
+from repro.experiments.runner import BenchmarkRun, run_suite
+
+
+def fig4_series(runs: Sequence[BenchmarkRun]) -> Dict[str, List[float]]:
+    """Average waiting time per benchmark for both methods."""
+    return {
+        "DAWO": [run.dawo.average_waiting_time for run in runs],
+        "PDW": [run.pdw.average_waiting_time for run in runs],
+    }
+
+
+def fig4_report(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PDWConfig] = None,
+) -> str:
+    """Render the Fig. 4 reproduction as a text bar chart."""
+    runs = run_suite(names, config)
+    series = fig4_series(runs)
+    return render_series(
+        "Fig. 4: Average waiting time of biochemical operations",
+        [run.name for run in runs],
+        list(series.items()),
+        unit="s",
+    )

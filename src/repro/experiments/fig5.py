@@ -1,0 +1,36 @@
+"""Fig. 5 — total wash time comparison.
+
+PDW's shorter wash paths (Eq. 17 ties duration to path length) and fewer
+wash operations yield less cumulative wash time than DAWO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import PDWConfig
+from repro.experiments.reporting import render_series
+from repro.experiments.runner import BenchmarkRun, run_suite
+
+
+def fig5_series(runs: Sequence[BenchmarkRun]) -> Dict[str, List[float]]:
+    """Total wash time per benchmark for both methods."""
+    return {
+        "DAWO": [float(run.dawo.total_wash_time) for run in runs],
+        "PDW": [float(run.pdw.total_wash_time) for run in runs],
+    }
+
+
+def fig5_report(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PDWConfig] = None,
+) -> str:
+    """Render the Fig. 5 reproduction as a text bar chart."""
+    runs = run_suite(names, config)
+    series = fig5_series(runs)
+    return render_series(
+        "Fig. 5: Total wash time",
+        [run.name for run in runs],
+        list(series.items()),
+        unit="s",
+    )

@@ -1,0 +1,83 @@
+"""Necessity-analysis statistics across the benchmark suite.
+
+Section II-A claims most contaminated spots need no wash; this report
+quantifies that on every benchmark: how many contamination events occur,
+how many are exempted by each rule (Type 1/2/3, consumed-by-lineage), and
+the fraction that genuinely requires washing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench import BENCHMARKS, benchmark, load_benchmark
+from repro.contam import ContaminationTracker, NecessityPolicy, wash_requirements
+from repro.experiments.reporting import render_table
+from repro.synth import synthesize
+
+
+@dataclass(frozen=True)
+class NecessityRow:
+    """Per-benchmark necessity statistics."""
+
+    name: str
+    events: int
+    required: int
+    type1: int
+    type2: int
+    type3: int
+    consumed: int
+
+    @property
+    def required_pct(self) -> float:
+        """Share of contamination events that actually need a wash."""
+        return 100.0 * self.required / self.events if self.events else 0.0
+
+
+def necessity_rows(names: Optional[Sequence[str]] = None) -> List[NecessityRow]:
+    """Compute the statistics for the given benchmarks (default: all 8)."""
+    rows = []
+    for name in names or list(BENCHMARKS):
+        spec = benchmark(name)
+        synthesis = synthesize(load_benchmark(name), inventory=spec.inventory)
+        tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
+        report = wash_requirements(tracker, synthesis.assay, NecessityPolicy.PDW)
+        rows.append(
+            NecessityRow(
+                name=name,
+                events=report.total_events,
+                required=len(report.required),
+                type1=report.type1_exempt,
+                type2=report.type2_exempt,
+                type3=report.type3_exempt,
+                consumed=report.consumed,
+            )
+        )
+    return rows
+
+
+def necessity_report(names: Optional[Sequence[str]] = None) -> str:
+    """Render the statistics as a text table."""
+    rows = necessity_rows(names)
+    headers = [
+        "Benchmark", "events", "required", "req %",
+        "type-1", "type-2", "type-3", "consumed",
+    ]
+    body = [
+        [
+            r.name, str(r.events), str(r.required), f"{r.required_pct:.1f}",
+            str(r.type1), str(r.type2), str(r.type3), str(r.consumed),
+        ]
+        for r in rows
+    ]
+    total_events = sum(r.events for r in rows)
+    total_required = sum(r.required for r in rows)
+    pct = 100.0 * total_required / total_events if total_events else 0.0
+    body.append(
+        ["Total", str(total_events), str(total_required), f"{pct:.1f}",
+         str(sum(r.type1 for r in rows)), str(sum(r.type2 for r in rows)),
+         str(sum(r.type3 for r in rows)), str(sum(r.consumed for r in rows))]
+    )
+    title = "Wash-necessity analysis: contamination events by classification\n"
+    return title + render_table(headers, body)

@@ -1,0 +1,52 @@
+"""Text-table rendering shared by the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table with a header rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells))
+    rule = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def render_series(
+    title: str,
+    labels: Sequence[str],
+    series: Sequence[tuple],
+    unit: str,
+    bar_width: int = 40,
+) -> str:
+    """Render grouped bar series as text (our Fig. 4 / Fig. 5 analog).
+
+    ``series`` is a list of (series_name, values) pairs; one bar per
+    (label, series) combination, scaled to the global maximum.
+    """
+    peak = max((max(values) for _, values in series), default=0.0) or 1.0
+    lines = [title]
+    label_width = max(len(l) for l in labels) if labels else 0
+    name_width = max(len(n) for n, _ in series) if series else 0
+    for i, label in enumerate(labels):
+        for name, values in series:
+            value = values[i]
+            bar = "#" * max(1, round(bar_width * value / peak)) if value else ""
+            lines.append(
+                f"  {label:<{label_width}}  {name:<{name_width}} "
+                f"{value:8.2f} {unit} |{bar}"
+            )
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def pct(value: float) -> str:
+    """Format a percentage like Table II's I_m columns."""
+    return f"{value:.2f}"

@@ -1,0 +1,85 @@
+"""Run benchmarks through synthesis, DAWO and PDW, with in-process caching."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import dawo_plan
+from repro.bench import BENCHMARKS, benchmark, load_benchmark
+from repro.core import PDWConfig, optimize_washes
+from repro.core.plan import WashPlan
+from repro.synth import synthesize
+from repro.synth.synthesis import SynthesisResult
+
+
+@dataclass
+class BenchmarkRun:
+    """One benchmark executed through both methods."""
+
+    name: str
+    synthesis: SynthesisResult
+    dawo: WashPlan
+    pdw: WashPlan
+    wall_time_s: float
+
+    def improvement(self, metric: str) -> float:
+        """PDW improvement over DAWO in percent (paper's :math:`I_m`)."""
+        d = self.dawo.metrics()[metric]
+        p = self.pdw.metrics()[metric]
+        return 100.0 * (d - p) / d if d else 0.0
+
+    @property
+    def sizes(self) -> str:
+        """|O|/|D|/|E| string as in Table II column 2."""
+        assay = self.synthesis.assay
+        return f"{assay.operation_count}/{self.synthesis.device_count}/{assay.edge_count}"
+
+
+_CACHE: Dict[tuple, BenchmarkRun] = {}
+
+
+def run_benchmark(
+    name: str,
+    config: Optional[PDWConfig] = None,
+    use_cache: bool = True,
+) -> BenchmarkRun:
+    """Synthesize a benchmark and run DAWO + PDW on it."""
+    cfg = config or PDWConfig(time_limit_s=120.0)
+    key = (name, cfg)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    started = time.perf_counter()
+    spec = benchmark(name)
+    assay = load_benchmark(name)
+    synthesis = synthesize(assay, inventory=spec.inventory)
+    dawo = dawo_plan(synthesis)
+    pdw = optimize_washes(synthesis, cfg)
+    run = BenchmarkRun(
+        name=name,
+        synthesis=synthesis,
+        dawo=dawo,
+        pdw=pdw,
+        wall_time_s=time.perf_counter() - started,
+    )
+    if use_cache:
+        _CACHE[key] = run
+    return run
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PDWConfig] = None,
+    use_cache: bool = True,
+) -> List[BenchmarkRun]:
+    """Run a list of benchmarks (default: the full Table II suite)."""
+    return [
+        run_benchmark(name, config, use_cache) for name in (names or list(BENCHMARKS))
+    ]
+
+
+def clear_cache() -> None:
+    """Drop all cached runs (used by tests)."""
+    _CACHE.clear()

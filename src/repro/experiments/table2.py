@@ -1,0 +1,95 @@
+"""Table II — DAWO vs PDW wash-optimization comparison.
+
+Reproduces the paper's main table: per benchmark, the number of wash
+operations, the total wash-path length (mm), the wash-induced assay delay
+(s) and the assay completion time (s) for both methods, with the PDW
+improvement percentage and the column averages.  Each row also carries the
+paper's published improvement for side-by-side reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench import benchmark
+from repro.core import PDWConfig
+from repro.experiments.reporting import pct, render_table
+from repro.experiments.runner import BenchmarkRun, run_suite
+
+#: (metric key, display name, paper row index in the PaperRow tuples)
+METRICS: Tuple[Tuple[str, str, int], ...] = (
+    ("n_wash", "N_wash", 0),
+    ("l_wash_mm", "L_wash(mm)", 1),
+    ("t_delay_s", "T_delay(s)", 2),
+    ("t_assay_s", "T_assay(s)", 3),
+)
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's measured Table II entries."""
+
+    name: str
+    sizes: str
+    dawo: dict
+    pdw: dict
+    improvements: dict
+    paper_improvements: dict
+
+
+def table2_rows(runs: Sequence[BenchmarkRun]) -> List[Table2Row]:
+    """Measured rows plus the paper's published improvements."""
+    rows = []
+    for run in runs:
+        spec = benchmark(run.name)
+        paper_imp = {}
+        for key, _, idx in METRICS:
+            d, p = spec.paper_dawo[idx], spec.paper_pdw[idx]
+            paper_imp[key] = 100.0 * (d - p) / d if d else 0.0
+        rows.append(
+            Table2Row(
+                name=run.name,
+                sizes=run.sizes,
+                dawo=run.dawo.metrics(),
+                pdw=run.pdw.metrics(),
+                improvements={k: run.improvement(k) for k, _, _ in METRICS},
+                paper_improvements=paper_imp,
+            )
+        )
+    return rows
+
+
+def table2_report(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PDWConfig] = None,
+) -> str:
+    """Render the Table II reproduction as text."""
+    runs = run_suite(names, config)
+    rows = table2_rows(runs)
+
+    headers = ["Benchmark", "|O|/|D|/|E|"]
+    for _, display, _ in METRICS:
+        headers += [f"{display} DAWO", "PDW", "Im(%)", "paper Im(%)"]
+
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [row.name, row.sizes]
+        for key, _, _ in METRICS:
+            cells += [
+                f"{row.dawo[key]:.0f}" if key != "l_wash_mm" else f"{row.dawo[key]:.1f}",
+                f"{row.pdw[key]:.0f}" if key != "l_wash_mm" else f"{row.pdw[key]:.1f}",
+                pct(row.improvements[key]),
+                pct(row.paper_improvements[key]),
+            ]
+        body.append(cells)
+
+    avg = ["Average", "-"]
+    for key, _, _ in METRICS:
+        measured = sum(r.improvements[key] for r in rows) / len(rows)
+        paper = sum(r.paper_improvements[key] for r in rows) / len(rows)
+        avg += ["-", "-", pct(measured), pct(paper)]
+    body.append(avg)
+
+    title = "Table II: PathDriver-Wash (PDW) vs DAWO — wash optimization\n"
+    return title + render_table(headers, body)

@@ -1,0 +1,19 @@
+"""Exporters: wash plans, schedules and valve control programs.
+
+Downstream consumers of a wash-optimized assay are (a) humans reviewing a
+plan, (b) other EDA tools, and (c) the pressure controller actually driving
+the chip.  This package serves all three:
+
+* :func:`~repro.export.plan_json.plan_to_dict` /
+  :func:`~repro.export.plan_json.plan_to_json` — full machine-readable
+  plan (tasks, washes, metrics),
+* :func:`~repro.export.actuation.actuation_program` — the tick-by-tick
+  valve program (CSV) a controller executes,
+* :func:`~repro.viz.svg.render_svg` (re-exported) — layout drawings.
+"""
+
+from repro.export.plan_json import plan_to_dict, plan_to_json
+from repro.export.actuation import actuation_program
+from repro.viz.svg import render_svg
+
+__all__ = ["actuation_program", "plan_to_dict", "plan_to_json", "render_svg"]

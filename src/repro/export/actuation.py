@@ -1,0 +1,49 @@
+"""Valve control-program export.
+
+A pressure controller drives a chip by switching valves between pressurized
+(closed) and vented (open) states at fixed time steps.  The CSV produced
+here has one row per schedule tick and one column per valve; cells are
+``O`` (open) or ``C`` (closed — the default/safe state of a normally
+closed membrane valve).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.arch.chip import Chip
+from repro.arch.control import ControlLayer
+from repro.schedule.schedule import Schedule
+
+
+def actuation_program(
+    chip: Chip,
+    schedule: Schedule,
+    layer: Optional[ControlLayer] = None,
+) -> str:
+    """CSV valve program for ``schedule`` on ``chip``.
+
+    The header row lists the valve ids with the channel segment each valve
+    gates in a comment line above it.
+    """
+    layer = layer or ControlLayer(chip)
+    table = layer.actuation_table(schedule)
+    valves = sorted(layer.valves.values(), key=lambda v: int(v.id[1:]))
+
+    out = io.StringIO()
+    out.write(
+        "# valve program for chip "
+        f"{chip.name!r}: O=open (vented), C=closed (pressurized)\n"
+    )
+    out.write(
+        "# "
+        + ", ".join(f"{v.id}={v.edge[0]}-{v.edge[1]}" for v in valves)
+        + "\n"
+    )
+    out.write("tick," + ",".join(v.id for v in valves) + "\n")
+    for tick in range(table.horizon):
+        open_now = table.open_valves(tick)
+        row = ",".join("O" if v in open_now else "C" for v in valves)
+        out.write(f"{tick},{row}\n")
+    return out.getvalue()

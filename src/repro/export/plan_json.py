@@ -1,0 +1,49 @@
+"""Machine-readable wash-plan export."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.plan import WashPlan
+
+
+def plan_to_dict(plan: WashPlan) -> Dict[str, Any]:
+    """Serialize a wash plan (schedule + washes + metrics) to plain data."""
+    return {
+        "method": plan.method,
+        "chip": plan.chip.name,
+        "solver_status": plan.solver_status,
+        "solve_time_s": round(plan.solve_time_s, 4),
+        "metrics": plan.metrics(),
+        "baseline_makespan_s": plan.baseline_makespan,
+        "tasks": [
+            {
+                "id": task.id,
+                "kind": task.kind.value,
+                "start_s": task.start,
+                "duration_s": task.duration,
+                "path": list(task.path) if task.path else None,
+                "device": task.device,
+                "fluid_type": task.fluid_type,
+                "edge": list(task.edge) if task.edge else None,
+            }
+            for task in plan.schedule.tasks()
+        ],
+        "washes": [
+            {
+                "id": wash.id,
+                "start_s": wash.start,
+                "duration_s": wash.duration,
+                "path": list(wash.path),
+                "targets": sorted(wash.targets),
+                "absorbed_removals": list(wash.absorbed_removals),
+            }
+            for wash in plan.washes
+        ],
+    }
+
+
+def plan_to_json(plan: WashPlan, indent: int = 2) -> str:
+    """Serialize a wash plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent)

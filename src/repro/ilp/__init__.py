@@ -1,0 +1,50 @@
+"""A small, self-contained (M)ILP modeling layer.
+
+The paper solves its formulation with Gurobi; this package provides the
+equivalent substrate without proprietary dependencies:
+
+* :class:`~repro.ilp.expr.Variable` / :class:`~repro.ilp.expr.LinExpr` —
+  linear expressions with natural operator overloading,
+* :class:`~repro.ilp.model.Model` — constraint container with big-M /
+  indicator helpers used by the scheduling formulation (Eqs. 1-26),
+* :func:`~repro.ilp.solver.solve` — exact solve via ``scipy.optimize.milp``
+  (the HiGHS solver), with time limits and best-effort status reporting,
+* :class:`~repro.ilp.branch_bound.BranchAndBoundSolver` — a pure-Python
+  branch-and-bound fallback (LP relaxations via ``scipy.optimize.linprog``),
+  useful for testing and for environments without HiGHS,
+* :func:`~repro.ilp.lpwriter.write_lp` — CPLEX LP-format export for
+  debugging models offline.
+
+Example
+-------
+>>> from repro.ilp import Model
+>>> m = Model("toy")
+>>> x = m.add_integer_var("x", lb=0, ub=10)
+>>> y = m.add_integer_var("y", lb=0, ub=10)
+>>> m.add_constr(x + y <= 7)
+>>> m.set_objective(3 * x + 2 * y, sense="max")
+>>> sol = m.solve()
+>>> sol.objective
+21.0
+"""
+
+from repro.ilp.expr import LinExpr, Variable, VarType
+from repro.ilp.model import Constraint, Model
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.solver import HighsOptions, solve
+from repro.ilp.branch_bound import BranchAndBoundSolver
+from repro.ilp.lpwriter import write_lp
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "Constraint",
+    "HighsOptions",
+    "LinExpr",
+    "Model",
+    "Solution",
+    "SolveStatus",
+    "VarType",
+    "Variable",
+    "solve",
+    "write_lp",
+]

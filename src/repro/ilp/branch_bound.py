@@ -1,0 +1,191 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+This is the fallback/teaching backend: LP relaxations are solved with
+``scipy.optimize.linprog`` (HiGHS simplex) and integrality is enforced by
+branching on the most fractional variable.  It is exact but much slower than
+:func:`repro.ilp.solver.solve`; the test suite uses it to cross-check the
+primary backend on small models, and it keeps the library functional on
+SciPy builds without ``milp``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+
+#: Tolerance under which a relaxation value counts as integral.
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node ordered by its relaxation bound."""
+
+    bound: float
+    counter: int
+    lower: np.ndarray = None  # type: ignore[assignment]
+    upper: np.ndarray = None  # type: ignore[assignment]
+
+
+class BranchAndBoundSolver:
+    """Best-first branch-and-bound over LP relaxations.
+
+    Parameters
+    ----------
+    time_limit_s:
+        Wall-clock budget; on expiry the best incumbent (if any) is
+        returned with :attr:`SolveStatus.FEASIBLE`.
+    max_nodes:
+        Hard cap on explored nodes, as a runaway guard.
+    """
+
+    def __init__(self, time_limit_s: float = 60.0, max_nodes: int = 200_000):
+        self.time_limit_s = time_limit_s
+        self.max_nodes = max_nodes
+
+    # -- public API -------------------------------------------------------
+
+    def __call__(self, model: Model) -> Solution:
+        return self.solve(model)
+
+    def solve(self, model: Model) -> Solution:
+        """Solve ``model`` to optimality (or best effort within limits)."""
+        started = time.perf_counter()
+        n = len(model.variables)
+        if n == 0:
+            return Solution(SolveStatus.OPTIMAL, model.objective.constant, {})
+
+        c, a_ub, b_ub, a_eq, b_eq = self._standard_form(model)
+        sign = -1.0 if model.objective_sense == "max" else 1.0
+        c = sign * c
+
+        integral = np.array([v.is_integral for v in model.variables])
+        root_lower = np.array([v.lb for v in model.variables])
+        root_upper = np.array([v.ub for v in model.variables])
+
+        counter = itertools.count()
+        heap: List[_Node] = []
+        root_bound = -math.inf
+        heapq.heappush(_heap := heap, _Node(root_bound, next(counter), root_lower, root_upper))
+
+        best_x: Optional[np.ndarray] = None
+        best_obj = math.inf
+        explored = 0
+        proven_infeasible_root = False
+
+        while heap:
+            if time.perf_counter() - started > self.time_limit_s or explored >= self.max_nodes:
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= best_obj - 1e-9:
+                continue
+            explored += 1
+
+            res = self._solve_lp(c, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper)
+            if res is None:
+                if explored == 1:
+                    proven_infeasible_root = True
+                continue
+            obj, x = res
+            if obj >= best_obj - 1e-9:
+                continue
+
+            frac_idx = self._most_fractional(x, integral)
+            if frac_idx is None:
+                best_obj, best_x = obj, x
+                continue
+
+            value = x[frac_idx]
+            down_upper = node.upper.copy()
+            down_upper[frac_idx] = math.floor(value)
+            up_lower = node.lower.copy()
+            up_lower[frac_idx] = math.ceil(value)
+            if node.lower[frac_idx] <= down_upper[frac_idx]:
+                heapq.heappush(heap, _Node(obj, next(counter), node.lower.copy(), down_upper))
+            if up_lower[frac_idx] <= node.upper[frac_idx]:
+                heapq.heappush(heap, _Node(obj, next(counter), up_lower, node.upper.copy()))
+
+        elapsed = time.perf_counter() - started
+        if best_x is None:
+            if proven_infeasible_root and not heap:
+                return Solution(SolveStatus.INFEASIBLE, solve_time_s=elapsed)
+            status = SolveStatus.INFEASIBLE if not heap else SolveStatus.ERROR
+            return Solution(status, solve_time_s=elapsed, message="no incumbent found")
+
+        status = SolveStatus.OPTIMAL if not heap else SolveStatus.FEASIBLE
+        values: Dict = {}
+        for var in model.variables:
+            raw = float(best_x[var.index])
+            values[var] = float(round(raw)) if var.is_integral else raw
+        objective = model.objective.constant + sum(
+            coef * values[var] for var, coef in model.objective.terms.items()
+        )
+        return Solution(status, objective, values, solve_time_s=elapsed)
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _standard_form(model: Model):
+        """Split the constraints into A_ub x <= b_ub and A_eq x == b_eq."""
+        n = len(model.variables)
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+
+        c = np.zeros(n)
+        for var, coef in model.objective.terms.items():
+            c[var.index] += coef
+
+        for constr in model.constraints:
+            row = np.zeros(n)
+            for var, coef in constr.expr.terms.items():
+                row[var.index] += coef
+            rhs = -constr.expr.constant
+            if constr.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constr.sense == ">=":
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        a_ub = np.vstack(ub_rows) if ub_rows else None
+        b_ub = np.array(ub_rhs) if ub_rhs else None
+        a_eq = np.vstack(eq_rows) if eq_rows else None
+        b_eq = np.array(eq_rhs) if eq_rhs else None
+        return c, a_ub, b_ub, a_eq, b_eq
+
+    @staticmethod
+    def _solve_lp(c, a_ub, b_ub, a_eq, b_eq, lower, upper) -> Optional[Tuple[float, np.ndarray]]:
+        """Solve one LP relaxation; ``None`` if infeasible."""
+        bounds = list(zip(lower, upper))
+        res = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+            bounds=bounds, method="highs",
+        )
+        if not res.success:
+            return None
+        return float(res.fun), np.asarray(res.x)
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integral: np.ndarray) -> Optional[int]:
+        """Index of the integral variable farthest from an integer value."""
+        best_idx, best_dist = None, _INT_TOL
+        for i in np.nonzero(integral)[0]:
+            dist = abs(x[i] - round(x[i]))
+            if dist > best_dist:
+                best_idx, best_dist = int(i), dist
+        return best_idx

@@ -1,0 +1,287 @@
+"""The :class:`Model` container and constraint helpers.
+
+A :class:`Model` owns variables and linear constraints and knows how to
+encode the disjunctive ("either-or") patterns that the paper's formulation
+uses heavily: Eqs. (2), (3), (8), (19) and (20) all take the big-M form
+
+.. math::
+
+    (1 - b) M + t_1 \\ge t_2  \\quad\\wedge\\quad  b M + t_3 \\ge t_4
+
+with a fresh binary ``b`` ordering two tasks.  :meth:`Model.add_disjunction`
+captures exactly that pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.ilp.expr import ExprLike, LinExpr, Variable, VarType
+from repro.ilp.solution import Solution
+
+#: Constraint senses as stored internally.
+SENSES = ("<=", ">=", "==")
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0`` with an optional name."""
+
+    expr: LinExpr
+    sense: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in SENSES:
+            raise ModelError(f"unknown constraint sense {self.sense!r}")
+
+    def violation(self, solution: Solution, tol: float = 1e-6) -> float:
+        """How much the constraint is violated under ``solution`` (0 if satisfied)."""
+        lhs = solution.value(self.expr)
+        if self.sense == "<=":
+            return max(0.0, lhs - tol)
+        if self.sense == ">=":
+            return max(0.0, -lhs - tol)
+        return max(0.0, abs(lhs) - tol)
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    Variables are added through :meth:`add_var` (or the typed shortcuts
+    :meth:`add_binary_var`, :meth:`add_integer_var`,
+    :meth:`add_continuous_var`), constraints through :meth:`add_constr`,
+    and the model is solved with :meth:`solve`, which dispatches to the
+    HiGHS backend by default.
+    """
+
+    def __init__(self, name: str = "model", big_m: float = 10_000.0):
+        if big_m <= 0:
+            raise ModelError("big-M must be positive")
+        self.name = name
+        self.big_m = float(big_m)
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.objective_sense: str = "min"
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = float("inf"),
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a fresh decision variable."""
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if vtype is VarType.BINARY:
+            lb, ub = max(0.0, lb), min(1.0, ub)
+        var = Variable(len(self.variables), name, lb, ub, vtype)
+        self.variables.append(var)
+        self._names.add(name)
+        return var
+
+    def add_binary_var(self, name: str) -> Variable:
+        """Shortcut for a 0/1 variable."""
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def add_integer_var(self, name: str, lb: float = 0.0, ub: float = float("inf")) -> Variable:
+        """Shortcut for a general integer variable."""
+        return self.add_var(name, lb, ub, VarType.INTEGER)
+
+    def add_continuous_var(self, name: str, lb: float = 0.0, ub: float = float("inf")) -> Variable:
+        """Shortcut for a continuous variable."""
+        return self.add_var(name, lb, ub, VarType.CONTINUOUS)
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+
+    def add_constr(self, relation: Tuple[LinExpr, str] | bool, name: str = "") -> Constraint:
+        """Add a constraint produced by comparing expressions.
+
+        ``relation`` is the ``(expr, sense)`` pair produced by ``lhs <= rhs``
+        etc.  A bare ``bool`` (which Python produces when two *identical*
+        plain numbers are compared) is rejected with a helpful error.
+        """
+        if isinstance(relation, bool):
+            raise ModelError(
+                "expected a linear relation; got a plain bool — "
+                "at least one side must involve a Variable"
+            )
+        expr, sense = relation
+        for var in expr.terms:
+            if var.index >= len(self.variables) or self.variables[var.index] is not var:
+                raise ModelError(f"variable {var.name!r} belongs to a different model")
+        constr = Constraint(expr.simplified(), sense, name)
+        self.constraints.append(constr)
+        return constr
+
+    def add_constrs(self, relations: Iterable[Tuple[LinExpr, str]], prefix: str = "") -> List[Constraint]:
+        """Add several constraints, auto-naming them ``prefix_<i>``."""
+        out = []
+        for i, rel in enumerate(relations):
+            out.append(self.add_constr(rel, f"{prefix}_{i}" if prefix else ""))
+        return out
+
+    # ------------------------------------------------------------------
+    # big-M / indicator patterns (Eqs. 2, 3, 8, 19, 20)
+    # ------------------------------------------------------------------
+
+    def add_disjunction(
+        self,
+        before: Tuple[ExprLike, ExprLike],
+        after: Tuple[ExprLike, ExprLike],
+        name: str = "ord",
+    ) -> Variable:
+        """Encode "either A ends before B starts, or B ends before A starts".
+
+        ``before = (end_a, start_b)`` activates ``start_b >= end_a`` when the
+        returned binary is 1; ``after = (end_b, start_a)`` activates
+        ``start_a >= end_b`` when it is 0.  This is the paper's recurring
+
+        .. math::
+
+            (1-b) M + s_b \\ge e_a, \\qquad b M + s_a \\ge e_b
+
+        pattern.  Returns the ordering binary.
+        """
+        b = self.add_binary_var(f"{name}[{len(self.variables)}]")
+        end_a, start_b = before
+        end_b, start_a = after
+        #   start_b + (1-b)M >= end_a
+        self.add_constr(
+            LinExpr.from_any(start_b) + self.big_m * (1 - LinExpr.from_any(b) * 1.0) >= end_a,
+            f"{name}_fwd",
+        )
+        #   start_a + bM >= end_b
+        self.add_constr(
+            LinExpr.from_any(start_a) + self.big_m * LinExpr.from_any(b) >= end_b,
+            f"{name}_bwd",
+        )
+        return b
+
+    def add_implication(
+        self,
+        binary: Variable,
+        relation: Tuple[LinExpr, str],
+        name: str = "impl",
+    ) -> Constraint:
+        """Add ``binary == 1  =>  relation`` via big-M relaxation.
+
+        For ``expr <= 0`` the encoding is ``expr <= M (1 - binary)``;
+        for ``expr >= 0`` it is ``expr >= -M (1 - binary)``.
+        Equalities are split into both directions.
+        """
+        expr, sense = relation
+        slack = self.big_m * (1 - LinExpr.from_any(binary) * 1.0)
+        if sense == "<=":
+            return self.add_constr(expr <= slack, name)
+        if sense == ">=":
+            return self.add_constr(expr >= -1.0 * slack, name)
+        self.add_constr(expr <= slack, f"{name}_le")
+        return self.add_constr(expr >= -1.0 * slack, f"{name}_ge")
+
+    def add_max_lower_bound(self, target: ExprLike, terms: Sequence[ExprLike], name: str = "max") -> None:
+        """Constrain ``target >= max(terms)`` (used for ``T_assay`` in Eq. 22)."""
+        for i, term in enumerate(terms):
+            self.add_constr(LinExpr.from_any(target) >= term, f"{name}_{i}")
+
+    def add_or_indicator(self, binaries: Sequence[Variable], name: str = "or") -> Variable:
+        """Return a binary equal to the logical OR of ``binaries``.
+
+        Encodes ``y >= b_i`` for all i and ``y <= sum(b_i)`` — exact for 0/1
+        inputs.  This implements Eq. (24): a path needs washing iff *any*
+        of its cells needs washing.
+        """
+        y = self.add_binary_var(f"{name}[{len(self.variables)}]")
+        for i, b in enumerate(binaries):
+            self.add_constr(y >= b, f"{name}_ge_{i}")
+        if binaries:
+            self.add_constr(LinExpr.from_any(y) <= LinExpr.sum(binaries), f"{name}_le")
+        else:
+            self.add_constr(LinExpr.from_any(y) <= 0, f"{name}_zero")
+        return y
+
+    def add_and_indicator(self, binaries: Sequence[Variable], name: str = "and") -> Variable:
+        """Return a binary equal to the logical AND of ``binaries``.
+
+        Used for Eq. (11): a cell must be washed iff *none* of the Type 1/2/3
+        exemptions hold, i.e. ``r = AND(not a1, not a2, not a3)``.
+        """
+        y = self.add_binary_var(f"{name}[{len(self.variables)}]")
+        for i, b in enumerate(binaries):
+            self.add_constr(y <= b, f"{name}_le_{i}")
+        n = len(binaries)
+        if n:
+            self.add_constr(
+                LinExpr.from_any(y) >= LinExpr.sum(binaries) - (n - 1),
+                f"{name}_ge",
+            )
+        else:
+            self.add_constr(LinExpr.from_any(y) >= 1, f"{name}_one")
+        return y
+
+    # ------------------------------------------------------------------
+    # objective / solving
+    # ------------------------------------------------------------------
+
+    def set_objective(self, expr: ExprLike, sense: str = "min") -> None:
+        """Set the (linear) objective and its optimization direction."""
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        self.objective = LinExpr.from_any(expr)
+        self.objective_sense = sense
+
+    def solve(
+        self,
+        time_limit_s: float | None = None,
+        mip_gap: float | None = None,
+        backend: Optional[Callable[["Model"], Solution]] = None,
+    ) -> Solution:
+        """Solve the model; defaults to the HiGHS backend.
+
+        ``backend`` may be any callable mapping a model to a
+        :class:`~repro.ilp.solution.Solution` (e.g. a configured
+        :class:`~repro.ilp.branch_bound.BranchAndBoundSolver`).
+        """
+        if backend is not None:
+            return backend(self)
+        from repro.ilp.solver import solve as highs_solve
+
+        return highs_solve(self, time_limit_s=time_limit_s, mip_gap=mip_gap)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def check_solution(self, solution: Solution, tol: float = 1e-5) -> List[str]:
+        """Names (or indices) of constraints violated by ``solution``."""
+        bad = []
+        for i, constr in enumerate(self.constraints):
+            if constr.violation(solution, tol) > 0:
+                bad.append(constr.name or f"constraint_{i}")
+        return bad
+
+    @property
+    def num_binaries(self) -> int:
+        """Number of 0/1 variables in the model."""
+        return sum(1 for v in self.variables if v.vtype is VarType.BINARY)
+
+    def stats(self) -> str:
+        """One-line size summary, handy for logging."""
+        return (
+            f"{self.name}: {len(self.variables)} vars "
+            f"({self.num_binaries} bin), {len(self.constraints)} constrs"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Model({self.stats()})"

@@ -1,0 +1,156 @@
+"""HiGHS backend: solve a :class:`~repro.ilp.model.Model` exactly.
+
+``scipy.optimize.milp`` wraps the HiGHS mixed-integer solver, which plays the
+role Gurobi plays in the paper.  The adapter below converts our model into
+the sparse matrix form scipy expects, maps statuses back, and honours a
+wall-clock time limit so runs stay within the paper's 15-minute best-effort
+budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.errors import SolverError
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+
+#: Map from ``scipy.optimize.milp`` status codes to ours.
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.FEASIBLE,   # iteration/time limit with incumbent
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+@dataclass(frozen=True)
+class HighsOptions:
+    """Solver options forwarded to HiGHS."""
+
+    time_limit_s: float | None = None
+    mip_gap: float | None = None
+    presolve: bool = True
+    node_limit: int | None = None
+
+
+def _build_matrices(model: Model):
+    """Convert the model into (c, integrality, bounds, constraints)."""
+    n = len(model.variables)
+    c = np.zeros(n)
+    for var, coef in model.objective.terms.items():
+        c[var.index] += coef
+    if model.objective_sense == "max":
+        c = -c
+
+    integrality = np.array(
+        [1 if v.is_integral else 0 for v in model.variables], dtype=np.int8
+    )
+    lower = np.array([v.lb for v in model.variables])
+    upper = np.array([v.ub for v in model.variables])
+
+    rows, cols, data, lo, hi = [], [], [], [], []
+    for i, constr in enumerate(model.constraints):
+        rhs = -constr.expr.constant
+        for var, coef in constr.expr.terms.items():
+            rows.append(i)
+            cols.append(var.index)
+            data.append(coef)
+        if constr.sense == "<=":
+            lo.append(-np.inf)
+            hi.append(rhs)
+        elif constr.sense == ">=":
+            lo.append(rhs)
+            hi.append(np.inf)
+        else:
+            lo.append(rhs)
+            hi.append(rhs)
+
+    a = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(model.constraints), n)
+    )
+    return c, integrality, Bounds(lower, upper), LinearConstraint(a, lo, hi)
+
+
+def solve(
+    model: Model,
+    time_limit_s: float | None = None,
+    mip_gap: float | None = None,
+    options: HighsOptions | None = None,
+) -> Solution:
+    """Solve ``model`` with HiGHS and return a :class:`Solution`.
+
+    An empty model (no variables) solves trivially to its constant
+    objective.  Statuses map directly: HiGHS "time limit with incumbent"
+    becomes :attr:`SolveStatus.FEASIBLE`, matching the paper's best-effort
+    runs.
+    """
+    opts = options or HighsOptions(time_limit_s=time_limit_s, mip_gap=mip_gap)
+    if time_limit_s is not None and opts.time_limit_s != time_limit_s:
+        opts = HighsOptions(
+            time_limit_s=time_limit_s,
+            mip_gap=mip_gap if mip_gap is not None else opts.mip_gap,
+            presolve=opts.presolve,
+            node_limit=opts.node_limit,
+        )
+
+    if not model.variables:
+        obj = model.objective.constant
+        return Solution(SolveStatus.OPTIMAL, objective=obj, values={}, message="empty model")
+
+    c, integrality, bounds, constraints = _build_matrices(model)
+
+    milp_options: dict = {"disp": False}
+    if opts.time_limit_s is not None:
+        milp_options["time_limit"] = float(opts.time_limit_s)
+    if opts.mip_gap is not None:
+        milp_options["mip_rel_gap"] = float(opts.mip_gap)
+    if opts.node_limit is not None:
+        milp_options["node_limit"] = int(opts.node_limit)
+    if not opts.presolve:
+        milp_options["presolve"] = False
+
+    started = time.perf_counter()
+    try:
+        result = milp(
+            c=c,
+            integrality=integrality,
+            bounds=bounds,
+            constraints=() if constraints.A.shape[0] == 0 else constraints,
+            options=milp_options,
+        )
+    except Exception as exc:  # pragma: no cover - backend failure
+        raise SolverError(f"HiGHS backend failed: {exc}") from exc
+    elapsed = time.perf_counter() - started
+
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status.has_solution and result.x is None:
+        # HiGHS hit a limit without an incumbent.
+        status = SolveStatus.ERROR
+
+    values = {}
+    objective = None
+    gap = getattr(result, "mip_gap", None)
+    if status.has_solution:
+        x = np.asarray(result.x)
+        for var in model.variables:
+            raw = float(x[var.index])
+            values[var] = float(round(raw)) if var.is_integral else raw
+        objective = model.objective.constant + sum(
+            coef * values[var] for var, coef in model.objective.terms.items()
+        )
+
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        solve_time_s=elapsed,
+        mip_gap=float(gap) if gap is not None else None,
+        message=str(getattr(result, "message", "")),
+    )

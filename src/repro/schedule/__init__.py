@@ -1,0 +1,24 @@
+"""Schedule substrate: task records, timelines and conflict detection.
+
+The synthesis flow (:mod:`repro.synth`) produces a :class:`Schedule` of
+biochemical operations, fluid transport tasks (:math:`p_{j,i,1}`), excess
+removal tasks (:math:`p_{j,i,2}`) and waste disposal flows; the wash
+optimizers (:mod:`repro.core`, :mod:`repro.baselines`) extend it with wash
+tasks and re-time everything.  :class:`Timeline` answers the occupancy
+queries both need: which chip nodes are busy when, and where the earliest
+conflict-free slot for a new flow is.
+"""
+
+from repro.schedule.tasks import ScheduledTask, TaskKind
+from repro.schedule.timeline import Timeline, intervals_overlap
+from repro.schedule.schedule import Schedule
+from repro.schedule.gantt import render_gantt
+
+__all__ = [
+    "Schedule",
+    "ScheduledTask",
+    "TaskKind",
+    "Timeline",
+    "intervals_overlap",
+    "render_gantt",
+]

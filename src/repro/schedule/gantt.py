@@ -1,0 +1,76 @@
+"""Text Gantt rendering of schedules, in the style of the paper's Fig. 2(b).
+
+Each row is one resource lane (a device, or a flow-task lane); columns are
+schedule ticks.  Used by the examples and handy when debugging wash plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+
+#: Lane fill glyph per task kind.
+_GLYPHS = {
+    TaskKind.OPERATION: "█",
+    TaskKind.TRANSPORT: "▶",
+    TaskKind.REMOVAL: "░",
+    TaskKind.WASTE: "▒",
+    TaskKind.WASH: "~",
+}
+
+
+def _lane_key(task: ScheduledTask) -> str:
+    if task.kind is TaskKind.OPERATION:
+        return f"dev {task.device}"
+    return {
+        TaskKind.TRANSPORT: "transport",
+        TaskKind.REMOVAL: "removal",
+        TaskKind.WASTE: "waste",
+        TaskKind.WASH: "wash",
+    }[task.kind]
+
+
+def render_gantt(schedule: Schedule, width_limit: int = 120) -> str:
+    """Render ``schedule`` as a fixed-width text chart.
+
+    Flow tasks share one lane per kind; overlapping tasks in one lane are
+    split onto numbered sub-lanes.  The chart is clipped at ``width_limit``
+    ticks with an ellipsis marker.
+    """
+    makespan = schedule.makespan
+    if makespan == 0:
+        return "(empty schedule)\n"
+    span = min(makespan, width_limit)
+    clipped = makespan > width_limit
+
+    lanes: Dict[str, List[List[ScheduledTask]]] = {}
+    for task in schedule.tasks():
+        sublanes = lanes.setdefault(_lane_key(task), [])
+        for sublane in sublanes:
+            if all(not task.overlaps_time(other) for other in sublane):
+                sublane.append(task)
+                break
+        else:
+            sublanes.append([task])
+
+    label_width = max(len(name) for name in lanes) + 3
+    lines = []
+    header = " " * label_width + "".join(
+        str(t % 10) if t % 5 == 0 else "·" for t in range(span)
+    )
+    lines.append(header + (" …" if clipped else ""))
+
+    for name in sorted(lanes):
+        for idx, sublane in enumerate(lanes[name]):
+            label = name if idx == 0 else f"{name}+{idx}"
+            row = [" "] * span
+            for task in sublane:
+                glyph = _GLYPHS[task.kind]
+                for t in range(task.start, min(task.end, span)):
+                    row[t] = glyph
+            lines.append(f"{label:<{label_width}}" + "".join(row))
+
+    lines.append(f"{'':<{label_width}}makespan = {makespan} s")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,120 @@
+"""Task records shared by the scheduler and the wash optimizers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.arch.chip import FlowPath
+from repro.errors import SchedulingError
+
+
+class TaskKind(enum.Enum):
+    """What a scheduled task does.
+
+    ``OPERATION``
+        A biochemical operation executing on a device (no flow path).
+    ``TRANSPORT``
+        A fluid transport :math:`p_{j,i,1}` — reagent injection, intermediate
+        product move, or final product collection.
+    ``REMOVAL``
+        An excess-fluid removal :math:`p_{j,i,2}` after a transport [7].
+    ``WASTE``
+        A waste-fluid disposal flow (the ``$`` paths of Table I).
+    ``WASH``
+        A buffer wash flow along a wash path.
+    """
+
+    OPERATION = "operation"
+    TRANSPORT = "transport"
+    REMOVAL = "removal"
+    WASTE = "waste"
+    WASH = "wash"
+
+    @property
+    def is_flow(self) -> bool:
+        """Whether tasks of this kind occupy a flow path."""
+        return self is not TaskKind.OPERATION
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One scheduled activity.
+
+    Attributes
+    ----------
+    id:
+        Unique task id, e.g. ``"op:o3"``, ``"tr:o1->o3"``, ``"wash:w2"``.
+    kind:
+        The :class:`TaskKind`.
+    start, duration:
+        Schedule ticks (integer seconds); ``end`` is derived.
+    path:
+        Flow path for flow tasks; ``None`` for operations.
+    device:
+        Executing device for operations; also set on transports/removals to
+        record which device the flow serves (useful for reporting).
+    fluid_type:
+        Contamination type of the carried fluid; ``None`` for wash buffer.
+    edge:
+        The sequencing-graph edge (producer id, consumer id) the task
+        serves, when applicable.
+    op_id:
+        The operation an ``OPERATION`` task executes.
+    """
+
+    id: str
+    kind: TaskKind
+    start: int
+    duration: int
+    path: Optional[FlowPath] = None
+    device: Optional[str] = None
+    fluid_type: Optional[str] = None
+    edge: Optional[Tuple[str, str]] = None
+    op_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise SchedulingError(f"task {self.id!r}: negative start {self.start}")
+        if self.duration < 0:
+            raise SchedulingError(f"task {self.id!r}: negative duration {self.duration}")
+        if self.kind is TaskKind.OPERATION:
+            if self.path is not None:
+                raise SchedulingError(f"operation task {self.id!r} cannot carry a path")
+            if self.device is None or self.op_id is None:
+                raise SchedulingError(f"operation task {self.id!r} needs device and op_id")
+        elif self.path is None or len(self.path) < 2:
+            raise SchedulingError(f"flow task {self.id!r} needs a path of >= 2 nodes")
+
+    @property
+    def end(self) -> int:
+        """Exclusive end tick."""
+        return self.start + self.duration
+
+    @property
+    def occupied_nodes(self) -> Tuple[str, ...]:
+        """Chip nodes the task occupies while running."""
+        if self.kind is TaskKind.OPERATION:
+            return (self.device,)  # type: ignore[return-value]
+        return self.path  # type: ignore[return-value]
+
+    def shifted(self, delta: int) -> "ScheduledTask":
+        """A copy moved ``delta`` ticks (may be negative; start stays >= 0)."""
+        return replace(self, start=self.start + delta)
+
+    def at(self, start: int) -> "ScheduledTask":
+        """A copy re-timed to begin at ``start``."""
+        return replace(self, start=start)
+
+    def overlaps_time(self, other: "ScheduledTask") -> bool:
+        """Whether the two tasks' time intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def shares_nodes(self, other: "ScheduledTask") -> bool:
+        """Whether the two tasks occupy at least one common chip node."""
+        return bool(set(self.occupied_nodes) & set(other.occupied_nodes))
+
+    def conflicts_with(self, other: "ScheduledTask") -> bool:
+        """Resource conflict: common node and overlapping time (Eq. 8/19/20)."""
+        return self.overlaps_time(other) and self.shares_nodes(other)

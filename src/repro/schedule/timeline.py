@@ -1,0 +1,105 @@
+"""Per-node occupancy timeline and earliest-fit queries.
+
+Used by the list scheduler and by the DAWO sweep-line to answer: "when is
+the earliest tick >= ready at which all nodes of this path are free for
+``duration`` ticks?"
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import SchedulingError
+
+Interval = Tuple[int, int]  # [start, end)
+
+
+def intervals_overlap(a: Interval, b: Interval) -> bool:
+    """Whether two half-open intervals intersect."""
+    return a[0] < b[1] and b[0] < a[1]
+
+
+class Timeline:
+    """Busy intervals per chip node, with earliest-fit search."""
+
+    def __init__(self) -> None:
+        self._busy: Dict[str, List[Interval]] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def occupy(self, nodes: Iterable[str], start: int, duration: int) -> None:
+        """Mark ``nodes`` busy during ``[start, start + duration)``.
+
+        Zero-duration occupations are ignored.
+        """
+        if start < 0 or duration < 0:
+            raise SchedulingError(f"invalid occupation [{start}, +{duration})")
+        if duration == 0:
+            return
+        interval = (start, start + duration)
+        for node in nodes:
+            insort(self._busy.setdefault(node, []), interval)
+
+    # -- queries --------------------------------------------------------------
+
+    def is_free(self, nodes: Iterable[str], start: int, duration: int) -> bool:
+        """Whether all ``nodes`` are free during ``[start, start + duration)``."""
+        if duration == 0:
+            return True
+        window = (start, start + duration)
+        for node in nodes:
+            for interval in self._busy.get(node, ()):
+                if intervals_overlap(window, interval):
+                    return False
+                if interval[0] >= window[1]:
+                    break
+        return True
+
+    def earliest_fit(
+        self,
+        nodes: Sequence[str],
+        ready: int,
+        duration: int,
+        deadline: int | None = None,
+    ) -> int | None:
+        """Earliest ``t >= ready`` with all nodes free for ``duration`` ticks.
+
+        Returns ``None`` if ``deadline`` is given and no slot finishes by it.
+        The search jumps to the end of whichever busy interval caused a
+        rejection, so it terminates in O(total intervals) steps.
+        """
+        if duration < 0:
+            raise SchedulingError("duration cannot be negative")
+        t = max(0, ready)
+        if duration == 0:
+            return t if deadline is None or t <= deadline else None
+        while True:
+            if deadline is not None and t + duration > deadline:
+                return None
+            blocker_end = self._first_conflict_end(nodes, t, duration)
+            if blocker_end is None:
+                return t
+            t = blocker_end
+
+    def _first_conflict_end(self, nodes: Sequence[str], start: int, duration: int) -> int | None:
+        """End of the earliest busy interval blocking the window, or ``None``."""
+        window = (start, start + duration)
+        best: int | None = None
+        for node in nodes:
+            for interval in self._busy.get(node, ()):
+                if intervals_overlap(window, interval):
+                    if best is None or interval[1] < best:
+                        best = interval[1]
+                    break  # intervals sorted by start; first hit is earliest
+                if interval[0] >= window[1]:
+                    break
+        return best
+
+    def busy_intervals(self, node: str) -> List[Interval]:
+        """Sorted busy intervals recorded for ``node``."""
+        return list(self._busy.get(node, ()))
+
+    def horizon(self) -> int:
+        """Latest busy tick over all nodes (0 when empty)."""
+        return max((iv[1] for ivs in self._busy.values() for iv in ivs), default=0)

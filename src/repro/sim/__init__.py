@@ -1,0 +1,24 @@
+"""Discrete-event simulation of assay executions.
+
+The :mod:`repro.contam` verifier checks residue safety; this package goes
+further and *executes* a schedule operationally: reagents are drawn from
+their flow ports, plugs move along their paths, devices hold concrete
+contents that operations consume and produce, washes flush residues, and
+waste leaves through waste ports.  Any mismatch — a transport leaving an
+empty device, an operation starting without its inputs, a plug crossing a
+foreign residue — becomes a typed simulation event.
+
+This catches bugs the residue checker cannot, e.g. a schedule that moves a
+product out of a device before the producing operation ran.
+"""
+
+from repro.sim.events import SimEvent, SimEventKind, SimReport
+from repro.sim.executor import ScheduleExecutor, simulate_plan
+
+__all__ = [
+    "ScheduleExecutor",
+    "SimEvent",
+    "SimEventKind",
+    "SimReport",
+    "simulate_plan",
+]

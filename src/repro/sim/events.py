@@ -1,0 +1,83 @@
+"""Typed events produced by the schedule executor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class SimEventKind(enum.Enum):
+    """What happened during simulation."""
+
+    INJECTION = "injection"            # reagent drawn from a flow port
+    PLUG_MOVED = "plug_moved"          # fluid transported between devices
+    OPERATION_RUN = "operation_run"    # device consumed inputs, made output
+    EXCESS_FLUSHED = "excess_flushed"  # excess-removal flow executed
+    WASTE_DISPOSED = "waste_disposed"  # product left through a waste port
+    WASH_RUN = "wash_run"              # buffer flush cleaned its path
+
+    # anomalies
+    MISSING_CONTENT = "missing_content"      # transport from an empty device
+    MISSING_INPUT = "missing_input"          # operation without its inputs
+    CROSS_CONTAMINATION = "cross_contamination"
+    WRONG_PORT = "wrong_port"                # injection from an unassigned port
+    LEFTOVER_CONTENT = "leftover_content"    # device still loaded at the end
+
+    @property
+    def is_anomaly(self) -> bool:
+        """Whether this event kind indicates a broken schedule."""
+        return self in (
+            SimEventKind.MISSING_CONTENT,
+            SimEventKind.MISSING_INPUT,
+            SimEventKind.CROSS_CONTAMINATION,
+            SimEventKind.WRONG_PORT,
+            SimEventKind.LEFTOVER_CONTENT,
+        )
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One simulation event."""
+
+    kind: SimEventKind
+    time: int
+    task_id: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"[t={self.time:>4}] {self.kind.value:<20} {self.task_id} {self.detail}"
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated execution."""
+
+    events: List[SimEvent] = field(default_factory=list)
+
+    def record(self, kind: SimEventKind, time: int, task_id: str, detail: str = "") -> None:
+        """Append one event."""
+        self.events.append(SimEvent(kind, time, task_id, detail))
+
+    @property
+    def anomalies(self) -> List[SimEvent]:
+        """All events indicating a broken schedule."""
+        return [e for e in self.events if e.kind.is_anomaly]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the execution completed without anomalies."""
+        return not self.anomalies
+
+    def count(self, kind: SimEventKind) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def summary(self) -> str:
+        """One-line event-count summary."""
+        parts = []
+        for kind in SimEventKind:
+            n = self.count(kind)
+            if n:
+                parts.append(f"{kind.value}={n}")
+        return ", ".join(parts) or "(no events)"

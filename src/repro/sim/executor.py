@@ -1,0 +1,194 @@
+"""The discrete-event schedule executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.assay.fluids import BUFFER_TYPE
+from repro.core.plan import WashPlan
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+from repro.sim.events import SimEventKind, SimReport
+from repro.synth.synthesis import SynthesisResult
+
+
+@dataclass
+class _Residue:
+    fluid: str
+    lineage: FrozenSet[str]
+
+
+class ScheduleExecutor:
+    """Operationally execute a (possibly wash-extended) schedule.
+
+    The executor tracks three kinds of state:
+
+    * per-node **residue** (latest fluid that crossed the node),
+    * per-device **content** — which sequencing-graph product currently
+      sits in the device, with how many consumer shares remain,
+    * per-device **input buffer** — which inputs have been delivered for
+      the next operation.
+    """
+
+    def __init__(self, synthesis: SynthesisResult, schedule: Optional[Schedule] = None):
+        self.synthesis = synthesis
+        self.chip = synthesis.chip
+        self.assay = synthesis.assay
+        self.schedule = schedule if schedule is not None else synthesis.schedule
+        self.fluid_types = synthesis.fluid_types
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> SimReport:
+        """Execute all tasks in time order and return the event log."""
+        report = SimReport()
+        residue: Dict[str, _Residue] = {}
+        content: Dict[str, Tuple[str, int]] = {}   # device -> (node id, shares)
+        inputs: Dict[str, Set[str]] = {}           # op id -> delivered inputs
+
+        consumer_count = {
+            op.id: len(self.assay.consumers_of(op.id))
+            for op in self.assay.operations
+        }
+
+        for task in sorted(self.schedule.tasks(), key=lambda t: (t.start, t.end, t.id)):
+            handler = {
+                TaskKind.TRANSPORT: self._run_transport,
+                TaskKind.REMOVAL: self._run_removal,
+                TaskKind.WASTE: self._run_waste,
+                TaskKind.WASH: self._run_wash,
+                TaskKind.OPERATION: self._run_operation,
+            }[task.kind]
+            handler(task, report, residue, content, inputs, consumer_count)
+
+        for device, (node, shares) in sorted(content.items()):
+            if shares > 0:
+                report.record(
+                    SimEventKind.LEFTOVER_CONTENT, self.schedule.makespan, f"dev:{device}",
+                    f"{node} still loaded ({shares} shares unconsumed)",
+                )
+        return report
+
+    # -- task handlers -------------------------------------------------------------
+
+    def _lineage(self, task: ScheduledTask) -> FrozenSet[str]:
+        if task.kind is TaskKind.OPERATION and task.op_id is not None:
+            return frozenset({task.op_id} | set(self.assay.inputs_of(task.op_id)))
+        if task.edge is not None:
+            return frozenset(task.edge)
+        return frozenset()
+
+    def _check_contamination(
+        self,
+        task: ScheduledTask,
+        report: SimReport,
+        residue: Dict[str, _Residue],
+    ) -> None:
+        lineage = self._lineage(task)
+        for node in task.path or ():
+            if self.chip.is_port(node):
+                continue
+            current = residue.get(node)
+            if (
+                current is not None
+                and task.fluid_type is not None
+                and current.fluid not in (task.fluid_type, BUFFER_TYPE)
+                and not (current.lineage & lineage)
+            ):
+                report.record(
+                    SimEventKind.CROSS_CONTAMINATION, task.start, task.id,
+                    f"{node}: {current.fluid!r} under {task.fluid_type!r}",
+                )
+
+    def _deposit(self, task: ScheduledTask, residue: Dict[str, _Residue]) -> None:
+        lineage = self._lineage(task)
+        for node in task.path or ():
+            if not self.chip.is_port(node) and task.fluid_type is not None:
+                residue[node] = _Residue(task.fluid_type, lineage)
+
+    def _run_transport(self, task, report, residue, content, inputs, consumer_count):
+        src, dst = task.edge
+        if self.assay.is_reagent(src):
+            expected = self.synthesis.reagent_ports.get(src)
+            if expected is not None and task.path[0] != expected:
+                report.record(
+                    SimEventKind.WRONG_PORT, task.start, task.id,
+                    f"reagent {src!r} assigned to {expected!r}, drawn from {task.path[0]!r}",
+                )
+            report.record(SimEventKind.INJECTION, task.start, task.id,
+                          f"{src} from {task.path[0]}")
+        else:
+            device = self.synthesis.binding[src]
+            held = content.get(device)
+            if held is None or held[0] != src or held[1] <= 0:
+                report.record(
+                    SimEventKind.MISSING_CONTENT, task.start, task.id,
+                    f"device {device!r} does not hold {src!r}",
+                )
+            else:
+                shares = held[1] - 1
+                if shares:
+                    content[device] = (src, shares)
+                else:
+                    del content[device]
+            report.record(SimEventKind.PLUG_MOVED, task.start, task.id,
+                          f"{src} -> {dst}")
+        self._check_contamination(task, report, residue)
+        self._deposit(task, residue)
+        inputs.setdefault(dst, set()).add(src)
+
+    def _run_removal(self, task, report, residue, content, inputs, consumer_count):
+        # Excess fluid is discarded: no contamination check, but the flow
+        # leaves its own residue behind.
+        self._deposit(task, residue)
+        report.record(SimEventKind.EXCESS_FLUSHED, task.start, task.id)
+
+    def _run_waste(self, task, report, residue, content, inputs, consumer_count):
+        src = task.edge[0] if task.edge else None
+        if src is not None and not self.assay.is_reagent(src):
+            device = self.synthesis.binding.get(src)
+            held = content.get(device) if device else None
+            if held is not None and held[0] == src:
+                del content[device]
+        self._deposit(task, residue)
+        report.record(SimEventKind.WASTE_DISPOSED, task.start, task.id)
+
+    def _run_wash(self, task, report, residue, content, inputs, consumer_count):
+        for node in task.path or ():
+            residue.pop(node, None)
+        report.record(SimEventKind.WASH_RUN, task.start, task.id,
+                      f"{len(task.path or ())} nodes flushed")
+
+    def _run_operation(self, task, report, residue, content, inputs, consumer_count):
+        op_id = task.op_id
+        device = task.device
+        needed = set(self.assay.inputs_of(op_id))
+        delivered = set(inputs.get(op_id, ()))
+        # Same-device producers hand their output over without a transport.
+        held = content.get(device)
+        if held is not None and held[0] in needed:
+            delivered.add(held[0])
+            shares = held[1] - 1
+            if shares:
+                content[device] = (held[0], shares)
+            else:
+                del content[device]
+        missing = needed - delivered
+        if missing:
+            report.record(
+                SimEventKind.MISSING_INPUT, task.start, task.id,
+                f"{op_id} missing {sorted(missing)}",
+            )
+        shares = consumer_count[op_id]
+        if shares == 0:
+            shares = 1  # terminal products occupy the device until disposal
+        content[device] = (op_id, shares)
+        residue[device] = _Residue(task.fluid_type, self._lineage(task))
+        report.record(SimEventKind.OPERATION_RUN, task.start, task.id,
+                      f"{op_id} on {device}")
+
+
+def simulate_plan(plan: WashPlan, synthesis: SynthesisResult) -> SimReport:
+    """Execute a wash plan's final schedule operationally."""
+    return ScheduleExecutor(synthesis, plan.schedule).run()

@@ -1,0 +1,34 @@
+"""PathDriver-style architectural synthesis.
+
+The paper obtains chip architectures and assay schedules from the
+PathDriver+ synthesis tool [12]; this package rebuilds that substrate:
+
+1. **binding** — assign each biochemical operation to a compatible device
+   (:mod:`repro.synth.binding`),
+2. **placement + channel routing** — place the devices and ports on the
+   virtual grid and etch a channel network connecting them
+   (:mod:`repro.synth.layout`),
+3. **scheduling** — a conflict-aware list scheduler that times operations,
+   reagent injections, intermediate transports (:math:`p_{j,i,1}`), excess
+   removals (:math:`p_{j,i,2}`) and waste disposals
+   (:mod:`repro.synth.scheduler`),
+4. **orchestration** — :func:`~repro.synth.synthesis.synthesize` runs the
+   whole flow and returns a :class:`~repro.synth.synthesis.SynthesisResult`
+   that the wash optimizers consume.
+"""
+
+from repro.synth.binding import Binding, bind_operations, derive_inventory
+from repro.synth.layout import ArchSpec, generate_layout
+from repro.synth.scheduler import ListScheduler
+from repro.synth.synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "ArchSpec",
+    "Binding",
+    "ListScheduler",
+    "SynthesisResult",
+    "bind_operations",
+    "derive_inventory",
+    "generate_layout",
+    "synthesize",
+]

@@ -1,0 +1,87 @@
+"""Operation-to-device binding.
+
+Given a sequencing graph and a device inventory (how many devices of each
+kind the chip carries — the paper's device library, sized ``|D|`` in
+Table II), bind every operation to a concrete device.  The heuristic
+balances load: each operation goes to the least-loaded compatible device,
+which maximizes the parallelism the list scheduler can exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.arch.device import Device, DeviceKind
+from repro.assay.graph import SequencingGraph
+from repro.assay.operations import spec_for
+from repro.errors import SynthesisError
+
+#: op id -> device name
+Binding = Dict[str, str]
+
+
+def derive_inventory(assay: SequencingGraph, ops_per_device: int = 3) -> Dict[DeviceKind, int]:
+    """A reasonable device inventory when none is specified.
+
+    One device per ``ops_per_device`` operations of each kind (minimum 1),
+    mirroring how the paper's benchmark libraries provide a few devices of
+    each required type.
+    """
+    if ops_per_device < 1:
+        raise SynthesisError("ops_per_device must be >= 1")
+    counts: Dict[DeviceKind, int] = {}
+    for op in assay.operations:
+        kind = spec_for(op.op_type).device_kind
+        counts[kind] = counts.get(kind, 0) + 1
+    return {kind: max(1, math.ceil(n / ops_per_device)) for kind, n in counts.items()}
+
+
+def build_device_list(inventory: Dict[DeviceKind, int]) -> List[Device]:
+    """Materialize named devices from an inventory.
+
+    Devices are named ``<kind><index>`` (``mixer1``, ``heater1``, ...), in
+    deterministic kind order.
+    """
+    devices: List[Device] = []
+    for kind in sorted(inventory, key=lambda k: k.value):
+        count = inventory[kind]
+        if count < 0:
+            raise SynthesisError(f"negative device count for {kind.value}")
+        for i in range(1, count + 1):
+            devices.append(Device(f"{kind.value}{i}", kind))
+    return devices
+
+
+def bind_operations(assay: SequencingGraph, devices: List[Device]) -> Binding:
+    """Bind each operation to the least-loaded compatible device.
+
+    Operations are processed in topological order so producer/consumer
+    pairs tend to land on different devices of the same kind, which lets
+    them overlap in time.
+
+    Raises
+    ------
+    SynthesisError
+        If some operation type has no compatible device in the list.
+    """
+    by_kind: Dict[DeviceKind, List[Device]] = {}
+    for device in devices:
+        by_kind.setdefault(device.kind, []).append(device)
+
+    load: Dict[str, int] = {d.name: 0 for d in devices}
+    binding: Binding = {}
+    for op_id in assay.topological_operations():
+        op = assay.operation(op_id)
+        kind = spec_for(op.op_type).device_kind
+        candidates = by_kind.get(kind, [])
+        compatible = [d for d in candidates if d.can_execute(op.op_type)]
+        if not compatible:
+            raise SynthesisError(
+                f"no device of kind {kind.value!r} available for operation "
+                f"{op_id!r} ({op.op_type})"
+            )
+        chosen = min(compatible, key=lambda d: (load[d.name], d.name))
+        binding[op_id] = chosen.name
+        load[chosen.name] += op.duration
+    return binding

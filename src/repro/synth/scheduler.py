@@ -1,0 +1,330 @@
+"""Conflict-aware list scheduling of a bound assay onto a chip.
+
+Produces the baseline execution procedure the wash optimizers start from —
+the analog of the paper's Fig. 2(b): biochemical operations, reagent
+injections and intermediate transports (:math:`p_{j,i,1}`), excess-fluid
+removals (:math:`p_{j,i,2}`) and terminal waste disposals, all timed so that
+no two concurrent tasks share a chip node.
+
+Physical-consistency rules enforced beyond plain precedence:
+
+* transports route *around* devices other than their endpoints, so a plug
+  never flows through a foreign device;
+* a device holding an unconsumed result does not accept new fluid — the
+  ready-queue prefers operations that evacuate occupied devices, and
+  deliveries into a device wait for its previous content to leave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.arch.chip import Chip, FlowPath
+from repro.arch.routing import Router
+from repro.assay.graph import SequencingGraph
+from repro.errors import RoutingError, SynthesisError
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+from repro.schedule.timeline import Timeline
+from repro.synth.binding import Binding
+
+
+def assign_reagent_ports(
+    chip: Chip, assay: SequencingGraph, binding: Binding
+) -> Dict[str, str]:
+    """Choose a flow port for every reagent.
+
+    Each reagent is injected from the flow port nearest to its first
+    consumer's device; ports are shared freely (injections are serialized by
+    the timeline when needed).
+    """
+    router = Router(chip)
+    ports: Dict[str, str] = {}
+    for reagent in assay.reagents:
+        consumers = assay.consumers_of(reagent.id)
+        if not consumers:
+            raise SynthesisError(f"reagent {reagent.id!r} has no consumer")
+        device = binding[consumers[0]]
+        ports[reagent.id] = router.nearest_flow_port(device)
+    return ports
+
+
+class ListScheduler:
+    """Greedy earliest-fit scheduler over the chip timeline."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        assay: SequencingGraph,
+        binding: Binding,
+        reagent_ports: Optional[Dict[str, str]] = None,
+    ):
+        assay.validate()
+        self.chip = chip
+        self.assay = assay
+        self.binding = binding
+        self.router = Router(chip)
+        self.reagent_ports = reagent_ports or assign_reagent_ports(chip, assay, binding)
+        self.fluid_types = assay.fluid_types()
+        missing = [op for op in (o.id for o in assay.operations) if op not in binding]
+        if missing:
+            raise SynthesisError(f"operations without binding: {missing}")
+        #: How many times each scheduling pass had to fall back to loading a
+        #: still-occupied device (0 on all shipped benchmarks).
+        self.eviction_fallbacks = 0
+
+    # -- path construction ------------------------------------------------------
+
+    def _avoiding_devices(self, src: str, dst: str) -> FlowPath:
+        """Shortest path that detours around all devices except endpoints."""
+        foreign = set(self.chip.devices) - {src, dst}
+        try:
+            return self.router.shortest_path(src, dst, avoid=foreign)
+        except RoutingError:
+            return self.router.shortest_path(src, dst)
+
+    def transport_path(self, src: str, op_id: str) -> Optional[FlowPath]:
+        """Flow path delivering ``src``'s output to ``op_id``'s device.
+
+        ``None`` when producer and consumer share a device (no transport).
+        """
+        device = self.binding[op_id]
+        origin = (
+            self.reagent_ports[src]
+            if self.assay.is_reagent(src)
+            else self.binding[src]
+        )
+        if origin == device:
+            return None
+        return self._avoiding_devices(origin, device)
+
+    def removal_path(self, device: str, transport: FlowPath) -> FlowPath:
+        """Path flushing the excess fluid cached at the device entry.
+
+        After a transport, excess fluid sits in the channel end adjacent to
+        the device [7]; the removal flushes that cell from the nearest flow
+        port to the nearest waste port, never entering any device.
+        """
+        entry = transport[-2]
+        fp = self.router.nearest_flow_port(entry)
+        wp = self.router.nearest_waste_port(entry)
+        try:
+            return self.router.path_through(fp, [entry], wp, avoid=set(self.chip.devices))
+        except RoutingError:
+            return self.router.path_through(fp, [entry], wp)
+
+    def waste_path(self, device: str) -> FlowPath:
+        """Disposal path carrying a terminal product off-chip."""
+        return self._avoiding_devices(device, self.router.nearest_waste_port(device))
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        """Build the complete baseline schedule."""
+        timeline = Timeline()
+        schedule = Schedule()
+        op_end: Dict[str, int] = {}
+        #: op whose result currently sits in each device.
+        content: Dict[str, Optional[str]] = {d: None for d in self.chip.devices}
+        #: tick at which each device's previous content has fully left.
+        clear_at: Dict[str, int] = {d: 0 for d in self.chip.devices}
+        remaining_consumers = {
+            op.id: len(self.assay.consumers_of(op.id)) for op in self.assay.operations
+        }
+
+        pending = list(self.assay.topological_operations())
+        order = {op_id: i for i, op_id in enumerate(pending)}
+        scheduled: Set[str] = set()
+
+        terminal = set(self.assay.terminal_operations())
+        while pending:
+            op_id = self._pick_next(pending, scheduled, content, remaining_consumers, order)
+            pending.remove(op_id)
+            scheduled.add(op_id)
+            self._schedule_operation(
+                op_id, schedule, timeline, op_end, content, clear_at, remaining_consumers
+            )
+            if op_id in terminal:
+                # Dispose terminal products eagerly so their device frees up.
+                self._schedule_disposal(
+                    schedule, timeline, op_id, op_end[op_id], content, clear_at
+                )
+        return schedule
+
+    # -- op selection -----------------------------------------------------------
+
+    def _pick_next(
+        self,
+        pending: List[str],
+        scheduled: Set[str],
+        content: Dict[str, Optional[str]],
+        remaining_consumers: Dict[str, int],
+        order: Dict[str, int],
+    ) -> str:
+        """Next ready op; prefer ones that do not load an occupied device."""
+        ready = [
+            op_id
+            for op_id in pending
+            if all(
+                self.assay.is_reagent(src) or src in scheduled
+                for src in self.assay.inputs_of(op_id)
+            )
+        ]
+        if not ready:
+            raise SynthesisError("scheduler stalled: no ready operation (cycle?)")
+
+        def blocked(op_id: str) -> bool:
+            device = self.binding[op_id]
+            holder = content[device]
+            if holder is not None and holder not in self.assay.inputs_of(op_id):
+                return True
+            # Consuming a same-device result in place requires being its
+            # last consumer, otherwise the in-place op destroys the copies
+            # other consumers still need.
+            for src in self.assay.inputs_of(op_id):
+                if (
+                    not self.assay.is_reagent(src)
+                    and self.binding[src] == device
+                    and remaining_consumers[src] > 1
+                ):
+                    return True
+            return False
+
+        unblocked = [op_id for op_id in ready if not blocked(op_id)]
+        if not unblocked:
+            self.eviction_fallbacks += 1
+            unblocked = ready
+        return min(unblocked, key=lambda op_id: order[op_id])
+
+    # -- task emission ---------------------------------------------------------------
+
+    def _schedule_operation(
+        self,
+        op_id: str,
+        schedule: Schedule,
+        timeline: Timeline,
+        op_end: Dict[str, int],
+        content: Dict[str, Optional[str]],
+        clear_at: Dict[str, int],
+        remaining_consumers: Dict[str, int],
+    ) -> None:
+        op = self.assay.operation(op_id)
+        device = self.binding[op_id]
+        arrival = clear_at[device]
+        for src in self.assay.inputs_of(op_id):
+            ready = 0 if self.assay.is_reagent(src) else op_end[src]
+            done = self._schedule_delivery(
+                schedule, timeline, src, op_id, max(ready, clear_at[device]),
+                content, clear_at, remaining_consumers,
+            )
+            arrival = max(arrival, done)
+
+        start = timeline.earliest_fit([device], arrival, op.duration)
+        timeline.occupy([device], start, op.duration)
+        schedule.add(
+            ScheduledTask(
+                id=f"op:{op_id}",
+                kind=TaskKind.OPERATION,
+                start=start,
+                duration=op.duration,
+                device=device,
+                fluid_type=self.fluid_types[op_id],
+                op_id=op_id,
+            )
+        )
+        op_end[op_id] = start + op.duration
+        content[device] = op_id
+
+    def _schedule_delivery(
+        self,
+        schedule: Schedule,
+        timeline: Timeline,
+        src: str,
+        op_id: str,
+        ready: int,
+        content: Dict[str, Optional[str]],
+        clear_at: Dict[str, int],
+        remaining_consumers: Dict[str, int],
+    ) -> int:
+        """Schedule transport + excess removal for edge (src, op_id).
+
+        Returns the tick at which the delivered input is fully in place
+        (transport and removal complete, Eqs. 4-5).
+        """
+        device = self.binding[op_id]
+        path = self.transport_path(src, op_id)
+        if path is None:
+            # Producer output stays in the shared device; mark it consumed.
+            remaining_consumers[src] -= 1
+            return ready
+
+        duration = self.chip.transport_time_s(path)
+        start = timeline.earliest_fit(path, ready, duration)
+        timeline.occupy(path, start, duration)
+        schedule.add(
+            ScheduledTask(
+                id=f"tr:{src}->{op_id}",
+                kind=TaskKind.TRANSPORT,
+                start=start,
+                duration=duration,
+                path=path,
+                device=device,
+                fluid_type=self.fluid_types[src],
+                edge=(src, op_id),
+            )
+        )
+        if not self.assay.is_reagent(src):
+            origin_device = self.binding[src]
+            remaining_consumers[src] -= 1
+            if remaining_consumers[src] <= 0 and content.get(origin_device) == src:
+                content[origin_device] = None
+                clear_at[origin_device] = max(clear_at[origin_device], start + duration)
+
+        removal = self.removal_path(device, path)
+        r_duration = self.chip.transport_time_s(removal)
+        r_start = timeline.earliest_fit(removal, start + duration, r_duration)
+        timeline.occupy(removal, r_start, r_duration)
+        schedule.add(
+            ScheduledTask(
+                id=f"rm:{src}->{op_id}",
+                kind=TaskKind.REMOVAL,
+                start=r_start,
+                duration=r_duration,
+                path=removal,
+                device=device,
+                fluid_type=self.fluid_types[src],
+                edge=(src, op_id),
+            )
+        )
+        return r_start + r_duration
+
+    def _schedule_disposal(
+        self,
+        schedule: Schedule,
+        timeline: Timeline,
+        op_id: str,
+        ready: int,
+        content: Dict[str, Optional[str]],
+        clear_at: Dict[str, int],
+    ) -> None:
+        """Move a terminal product to a waste port."""
+        device = self.binding[op_id]
+        path = self.waste_path(device)
+        duration = self.chip.transport_time_s(path)
+        start = timeline.earliest_fit(path, ready, duration)
+        timeline.occupy(path, start, duration)
+        schedule.add(
+            ScheduledTask(
+                id=f"ws:{op_id}",
+                kind=TaskKind.WASTE,
+                start=start,
+                duration=duration,
+                path=path,
+                device=device,
+                fluid_type=self.fluid_types[op_id],
+                edge=(op_id, "waste"),
+            )
+        )
+        if content.get(device) == op_id:
+            content[device] = None
+            clear_at[device] = max(clear_at[device], start + duration)

@@ -1,0 +1,114 @@
+"""End-to-end synthesis: assay in, (chip, binding, schedule) out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.arch.chip import Chip
+from repro.arch.device import DeviceKind
+from repro.assay.graph import SequencingGraph
+from repro.errors import SynthesisError
+from repro.schedule.schedule import Schedule
+from repro.synth.binding import Binding, bind_operations, build_device_list, derive_inventory
+from repro.synth.layout import ArchSpec, generate_layout
+from repro.synth.scheduler import ListScheduler, assign_reagent_ports
+from repro.units import PhysicalParameters, DEFAULT_PARAMETERS
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the wash optimizers need about an assay execution.
+
+    Attributes
+    ----------
+    chip:
+        The generated (or user-provided) architecture.
+    assay:
+        The input sequencing graph.
+    binding:
+        op id -> device name.
+    reagent_ports:
+        reagent id -> flow port used for its injection.
+    schedule:
+        The wash-free baseline schedule (the analog of Fig. 2(b)).
+    fluid_types:
+        node id -> contamination type of its output fluid.
+    """
+
+    chip: Chip
+    assay: SequencingGraph
+    binding: Binding
+    reagent_ports: Dict[str, str]
+    schedule: Schedule
+    fluid_types: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def baseline_makespan(self) -> int:
+        """:math:`T_{assay}` of the wash-free schedule."""
+        return self.schedule.makespan
+
+    @property
+    def device_count(self) -> int:
+        """|D| — devices on the chip."""
+        return len(self.chip.devices)
+
+
+def _check_binding(assay: SequencingGraph, chip: Chip, binding: Binding) -> None:
+    """Validate a user-supplied binding against the chip's devices."""
+    for op in assay.operations:
+        device_name = binding.get(op.id)
+        if device_name is None:
+            raise SynthesisError(f"binding misses operation {op.id!r}")
+        device = chip.devices.get(device_name)
+        if device is None:
+            raise SynthesisError(
+                f"binding maps {op.id!r} to unknown device {device_name!r}"
+            )
+        if not device.can_execute(op.op_type):
+            raise SynthesisError(
+                f"device {device_name!r} ({device.kind.value}) cannot execute "
+                f"{op.id!r} ({op.op_type})"
+            )
+
+
+def synthesize(
+    assay: SequencingGraph,
+    inventory: Optional[Dict[DeviceKind, int]] = None,
+    spec: ArchSpec = ArchSpec(),
+    chip: Optional[Chip] = None,
+    binding: Optional[Binding] = None,
+    reagent_ports: Optional[Dict[str, str]] = None,
+    parameters: PhysicalParameters = DEFAULT_PARAMETERS,
+) -> SynthesisResult:
+    """Run the full synthesis flow.
+
+    Either pass a pre-built ``chip`` (and optionally a ``binding`` and
+    ``reagent_ports``), or let the flow derive a device inventory, generate
+    a layout and bind the operations.  The returned schedule is validated
+    conflict-free.
+    """
+    assay.validate()
+    if chip is None:
+        inv = inventory or derive_inventory(assay)
+        devices = build_device_list(inv)
+        chip = generate_layout(devices, spec, name=f"{assay.name}-chip", parameters=parameters)
+    if binding is None:
+        binding = bind_operations(assay, list(chip.devices.values()))
+    else:
+        _check_binding(assay, chip, binding)
+
+    if reagent_ports is None:
+        reagent_ports = assign_reagent_ports(chip, assay, binding)
+    scheduler = ListScheduler(chip, assay, binding, reagent_ports)
+    schedule = scheduler.run()
+    schedule.validate()
+
+    return SynthesisResult(
+        chip=chip,
+        assay=assay,
+        binding=binding,
+        reagent_ports=reagent_ports,
+        schedule=schedule,
+        fluid_types=assay.fluid_types(),
+    )

@@ -1,0 +1,98 @@
+"""Physical units and constants used throughout the library.
+
+The paper works in millimetres and seconds: wash-path lengths are reported in
+mm (Table II), schedules in integer seconds (Fig. 2(b)/Fig. 3), and the flow
+velocity is ``v_f = 10 mm/s`` [13].  We keep the same convention:
+
+* lengths are ``float`` millimetres,
+* times are ``int`` seconds (schedule ticks) or ``float`` seconds for
+  physical durations before rounding,
+* the virtual grid has a configurable *cell pitch* — the physical channel
+  length represented by one grid cell.
+
+The module also implements the wash-duration model of Eq. (17):
+
+.. math::
+
+    t(w_j) = L(l_{w_j}) / v_f + t_d(w_j)
+
+where :math:`t_d` is the dissolution time of the contaminant, estimated from
+a protein-diffusion model [11].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default flow velocity in mm/s (paper, Section IV, citing [13]).
+DEFAULT_FLOW_VELOCITY_MM_S: float = 10.0
+
+#: Default physical length of one grid cell in mm.  Chosen so that the
+#: total wash-path lengths of the Table II benchmarks land in the paper's
+#: reported range (60-460 mm) and transports take ~1-3 s as in the paper's
+#: example schedule; see DESIGN.md.
+DEFAULT_CELL_PITCH_MM: float = 1.5
+
+#: Default dissolution time for a generic contaminant in seconds.  The paper
+#: takes dissolution times from a protein-diffusion model [11]; for the
+#: integer-second schedules used here one second is the natural quantum.
+DEFAULT_DISSOLUTION_TIME_S: float = 1.0
+
+
+@dataclass(frozen=True)
+class PhysicalParameters:
+    """Physical constants of a chip / fluid combination.
+
+    Attributes
+    ----------
+    flow_velocity_mm_s:
+        Velocity of fluids driven through flow channels, mm/s.
+    cell_pitch_mm:
+        Physical channel length represented by one virtual-grid cell, mm.
+    dissolution_time_s:
+        Extra time a wash flow must keep flushing a contaminated cell so
+        that residues dissolve into the buffer (Eq. 17's :math:`t_d`).
+    """
+
+    flow_velocity_mm_s: float = DEFAULT_FLOW_VELOCITY_MM_S
+    cell_pitch_mm: float = DEFAULT_CELL_PITCH_MM
+    dissolution_time_s: float = DEFAULT_DISSOLUTION_TIME_S
+
+    def __post_init__(self) -> None:
+        if self.flow_velocity_mm_s <= 0:
+            raise ValueError("flow velocity must be positive")
+        if self.cell_pitch_mm <= 0:
+            raise ValueError("cell pitch must be positive")
+        if self.dissolution_time_s < 0:
+            raise ValueError("dissolution time cannot be negative")
+
+    def path_length_mm(self, n_cells: int) -> float:
+        """Physical length of a flow path spanning ``n_cells`` grid cells."""
+        if n_cells < 0:
+            raise ValueError("cell count cannot be negative")
+        return n_cells * self.cell_pitch_mm
+
+    def transport_time_s(self, n_cells: int) -> int:
+        """Integer seconds needed to push a fluid plug along ``n_cells`` cells.
+
+        Always at least one schedule tick, matching the 1 s transport slots
+        of the paper's example schedule.
+        """
+        length = self.path_length_mm(n_cells)
+        return max(1, math.ceil(length / self.flow_velocity_mm_s))
+
+    def wash_time_s(self, n_cells: int) -> int:
+        """Duration of a wash operation over a path of ``n_cells`` cells.
+
+        Implements Eq. (17): flush time (path length over flow velocity)
+        plus the dissolution time of the contaminant, rounded up to whole
+        schedule ticks and clamped to at least one tick.
+        """
+        length = self.path_length_mm(n_cells)
+        duration = length / self.flow_velocity_mm_s + self.dissolution_time_s
+        return max(1, math.ceil(duration))
+
+
+#: Library-wide default parameter set.
+DEFAULT_PARAMETERS = PhysicalParameters()

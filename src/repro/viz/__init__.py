@@ -1,0 +1,6 @@
+"""Text visualization helpers used by the examples."""
+
+from repro.viz.ascii_chip import render_chip
+from repro.schedule.gantt import render_gantt
+
+__all__ = ["render_chip", "render_gantt"]

@@ -1,0 +1,55 @@
+"""Shared fixtures: a small demo assay and its synthesis artifacts.
+
+Expensive artifacts (synthesis, wash plans) are session-scoped: the demo
+assay is small enough that PDW solves it to optimality in well under a
+second, and reusing the plans keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assay import Operation, Reagent, SequencingGraph
+from repro.baselines import dawo_plan
+from repro.contam import ContaminationTracker
+from repro.core import PDWConfig, optimize_washes
+from repro.synth import synthesize
+
+
+def build_demo_assay() -> SequencingGraph:
+    """A 6-op assay exercising mixing, detection and heating."""
+    g = SequencingGraph("demo")
+    for i, fluid in enumerate(["sample", "enzyme", "dye", "salt"], start=1):
+        g.add_reagent(Reagent(f"r{i}", fluid))
+    g.add_operation(Operation("o1", "mix"), ["r1", "r2"])
+    g.add_operation(Operation("o2", "mix"), ["r3", "r4"])
+    g.add_operation(Operation("o3", "detect"), ["o1"])
+    g.add_operation(Operation("o4", "heat"), ["o2"])
+    g.add_operation(Operation("o5", "mix"), ["o3", "o4"])
+    g.add_operation(Operation("o6", "detect"), ["o5"])
+    return g
+
+
+@pytest.fixture
+def demo_assay() -> SequencingGraph:
+    return build_demo_assay()
+
+
+@pytest.fixture(scope="session")
+def demo_synthesis():
+    return synthesize(build_demo_assay())
+
+
+@pytest.fixture(scope="session")
+def demo_tracker(demo_synthesis):
+    return ContaminationTracker(demo_synthesis.chip, demo_synthesis.schedule)
+
+
+@pytest.fixture(scope="session")
+def demo_pdw_plan(demo_synthesis):
+    return optimize_washes(demo_synthesis, PDWConfig(time_limit_s=30.0))
+
+
+@pytest.fixture(scope="session")
+def demo_dawo_plan(demo_synthesis):
+    return dawo_plan(demo_synthesis)

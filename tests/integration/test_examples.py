@@ -1,0 +1,48 @@
+"""The shipped example scripts must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys, argv=("example",)):
+    sys.path.insert(0, str(EXAMPLES))
+    old_argv = sys.argv
+    sys.argv = list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+        sys.path.remove(str(EXAMPLES))
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "PDW solver status" in out
+        assert "makespan" in out
+
+    def test_motivating_example(self, capsys):
+        out = run_example("motivating_example.py", capsys)
+        assert "Table I transport paths" in out
+        assert "PDW wash operations" in out
+
+    def test_custom_chip(self, capsys):
+        out = run_example("custom_chip.py", capsys)
+        assert "custom" in out.lower()
+
+    def test_method_comparison(self, capsys):
+        out = run_example("method_comparison.py", capsys, argv=("example", "PCR"))
+        assert "DAWO" in out and "PDW" in out
+        assert "necessity analysis" in out
+
+    def test_weight_sweep(self, capsys):
+        out = run_example("weight_sweep.py", capsys, argv=("example", "PCR"))
+        assert "paper (.3/.3/.4)" in out
+        assert "cap" in out

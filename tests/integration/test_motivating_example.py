@@ -1,0 +1,75 @@
+"""Integration test of the paper's motivating example (Fig. 1-3, Table I)."""
+
+import pytest
+
+from repro.arch import figure2_chip
+from repro.arch.presets import FIGURE2_FLOW_PATHS
+from repro.baselines import dawo_plan
+from repro.contam import contamination_violations
+from repro.core import PDWConfig, optimize_washes
+from repro.synth import synthesize
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "examples"))
+from motivating_example import BINDING, REAGENT_PORTS, build_figure1_assay  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def synthesis():
+    return synthesize(
+        build_figure1_assay(),
+        chip=figure2_chip(),
+        binding=BINDING,
+        reagent_ports=REAGENT_PORTS,
+    )
+
+
+@pytest.fixture(scope="module")
+def pdw(synthesis):
+    return optimize_washes(synthesis, PDWConfig(time_limit_s=60.0))
+
+
+class TestFigure2Reconstruction:
+    def test_assay_shape_matches_fig1c(self):
+        assay = build_figure1_assay()
+        assert assay.operation_count == 7
+        assert len(assay.reagents) == 2
+
+    def test_all_table1_paths_walk_the_chip(self):
+        chip = figure2_chip()
+        for path in FIGURE2_FLOW_PATHS.values():
+            chip.check_path(path)
+
+    def test_binding_uses_all_five_devices(self):
+        assert set(BINDING.values()) == {"filter", "mixer", "heater", "det1", "det2"}
+
+    def test_baseline_completion_near_paper(self, synthesis):
+        # The paper's wash-free schedule completes in 30 s; our rebuilt
+        # substrate should land in the same range.
+        assert 25 <= synthesis.baseline_makespan <= 45
+
+    def test_pdw_plan_verified(self, synthesis, pdw):
+        assert pdw.schedule.conflicts() == []
+        assert contamination_violations(synthesis.chip, pdw.schedule) == []
+
+    def test_small_wash_delay_like_fig3(self, pdw):
+        # Fig. 3: efficient washes delay the assay by only one second.
+        assert pdw.t_delay <= 3
+
+    def test_few_washes_like_fig3(self, pdw):
+        # Fig. 3 needs only three wash operations.
+        assert 1 <= pdw.n_wash <= 4
+
+    def test_dawo_no_better_than_pdw(self, synthesis, pdw):
+        dawo = dawo_plan(synthesis)
+        assert pdw.n_wash <= dawo.n_wash
+        assert pdw.t_assay <= dawo.t_assay
+
+    def test_wash_paths_use_table1_style_routes(self, pdw):
+        chip = figure2_chip()
+        for wash in pdw.washes:
+            assert wash.path[0] in chip.flow_ports
+            assert wash.path[-1] in chip.waste_ports
+            chip.check_path(wash.path)

@@ -1,0 +1,54 @@
+"""Integration tests for the auxiliary experiment reports."""
+
+import pytest
+
+from repro.core import PDWConfig
+from repro.experiments.necessity_stats import necessity_report, necessity_rows
+from repro.experiments.pareto import pareto_points, pareto_report
+
+SUBSET = ["PCR", "Kinase-act-1"]
+
+
+class TestNecessityStats:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return necessity_rows(SUBSET)
+
+    def test_classification_partitions_events(self, rows):
+        for row in rows:
+            assert (
+                row.required + row.type1 + row.type2 + row.type3 + row.consumed
+                == row.events
+            )
+
+    def test_minority_of_events_require_wash(self, rows):
+        """The paper's Section II-A claim, quantified."""
+        for row in rows:
+            assert row.required_pct < 50.0
+
+    def test_report_renders(self):
+        text = necessity_report(SUBSET)
+        assert "Total" in text
+        assert "req %" in text
+
+
+class TestParetoSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return pareto_points("PCR", base=PDWConfig(time_limit_s=40.0))
+
+    def test_all_sweep_points_solved(self, points):
+        assert len(points) == 4
+
+    def test_length_only_minimizes_length(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["length-only"].l_wash_mm <= by_label["time-only"].l_wash_mm
+
+    def test_time_only_minimizes_time(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["time-only"].t_assay <= by_label["length-only"].t_assay
+
+    def test_report_renders(self):
+        text = pareto_report("PCR", base=PDWConfig(time_limit_s=40.0))
+        assert "paper" in text
+        assert "Objective sweep" in text

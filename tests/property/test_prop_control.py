@@ -1,0 +1,108 @@
+"""Property tests: control-layer invariants.
+
+The central theorem: a node-disjoint (conflict-free) set of concurrent
+flows is always valve-consistent — no valve is demanded open and closed at
+once.  The schedule substrate guarantees node-disjointness, so every valid
+schedule must actuate.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Router, figure2_chip
+from repro.arch.control import ControlLayer
+from repro.errors import RoutingError
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+CHIP = figure2_chip()
+LAYER = ControlLayer(CHIP)
+ROUTER = Router(CHIP)
+INTERIOR = sorted(CHIP.washable_nodes)
+
+
+@st.composite
+def random_paths(draw):
+    """A handful of routed paths between random endpoint pairs."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    paths = []
+    for _ in range(n):
+        a = draw(st.sampled_from(INTERIOR))
+        b = draw(st.sampled_from(INTERIOR))
+        if a == b:
+            continue
+        try:
+            paths.append(ROUTER.shortest_path(a, b))
+        except RoutingError:
+            continue
+    return paths
+
+
+@given(random_paths())
+@settings(max_examples=80, deadline=None)
+def test_path_valve_sets_are_disjoint(paths):
+    for path in paths:
+        open_v, closed_v = LAYER.path_valves(path)
+        assert not (open_v & closed_v)
+        # every gated segment of the path is in the open set
+        for a, b in zip(path, path[1:]):
+            valve = LAYER.valve_on(a, b)
+            if valve is not None:
+                assert valve in open_v
+
+
+@given(random_paths())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_conflict_free_schedules_always_actuate(paths):
+    schedule = Schedule()
+    t = 0
+    for i, path in enumerate(paths):
+        # Serialize all flows: trivially conflict-free.
+        schedule.add(
+            ScheduledTask(
+                id=f"t{i}", kind=TaskKind.TRANSPORT, start=t, duration=2,
+                path=path, fluid_type="f",
+            )
+        )
+        t += 2
+    assert schedule.conflicts() == []
+    table = LAYER.actuation_table(schedule)  # must not raise
+    assert table.horizon == t
+
+
+@given(random_paths())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_concurrent_node_disjoint_flows_actuate(paths):
+    schedule = Schedule()
+    used = set()
+    kept = 0
+    for i, path in enumerate(paths):
+        if set(path) & used:
+            continue
+        used.update(path)
+        schedule.add(
+            ScheduledTask(
+                id=f"t{i}", kind=TaskKind.TRANSPORT, start=0, duration=3,
+                path=path, fluid_type="f",
+            )
+        )
+        kept += 1
+    assert schedule.conflicts() == []
+    LAYER.actuation_table(schedule)  # node-disjoint => valve-consistent
+
+
+@given(random_paths())
+@settings(max_examples=40, deadline=None)
+def test_control_port_grouping_partitions_valves(paths):
+    schedule = Schedule()
+    for i, path in enumerate(paths):
+        schedule.add(
+            ScheduledTask(
+                id=f"t{i}", kind=TaskKind.TRANSPORT, start=3 * i, duration=2,
+                path=path, fluid_type="f",
+            )
+        )
+    table = LAYER.actuation_table(schedule)
+    groups = table.control_port_groups()
+    all_valves = [v for group in groups for v in group]
+    assert len(all_valves) == LAYER.valve_count
+    assert len(set(all_valves)) == LAYER.valve_count

@@ -1,0 +1,81 @@
+"""Property tests: the full pipeline on randomly generated assays.
+
+These are the library's strongest invariants: for *any* valid assay the
+synthesis produces a conflict-free schedule, and both wash optimizers
+produce verified (conflict- and contamination-free) plans with PDW never
+worse than DAWO on the objective metrics it optimizes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import dawo_plan
+from repro.bench.synthetic import synthetic_assay
+from repro.contam import contamination_violations
+from repro.core import PDWConfig, optimize_washes
+from repro.errors import BenchmarkError
+from repro.synth import synthesize
+
+FAST = PDWConfig(time_limit_s=20.0, mip_gap=0.05)
+
+
+def build(seed, n_ops, slack):
+    try:
+        return synthetic_assay(f"rand{seed}", n_ops, n_ops + slack, seed)
+    except BenchmarkError:
+        return None
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    n_ops=st.integers(min_value=2, max_value=7),
+    slack=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_synthesis_schedules_are_conflict_free(seed, n_ops, slack):
+    assay = build(seed, n_ops, slack)
+    if assay is None:
+        return
+    result = synthesize(assay)
+    result.schedule.validate()
+    assert result.schedule.makespan > 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=120),
+    n_ops=st.integers(min_value=3, max_value=6),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_both_optimizers_produce_verified_plans(seed, n_ops):
+    assay = build(seed, n_ops, 4)
+    if assay is None:
+        return
+    result = synthesize(assay)
+    pdw = optimize_washes(result, FAST)   # verify=True raises on violation
+    dawo = dawo_plan(result)
+    assert contamination_violations(result.chip, pdw.schedule) == []
+    assert contamination_violations(result.chip, dawo.schedule) == []
+    assert pdw.n_wash <= dawo.n_wash
+    # Washes can only delay an assay, never speed it up.
+    assert pdw.t_delay >= 0
+    assert dawo.t_delay >= 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    n_ops=st.integers(min_value=3, max_value=6),
+)
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_simulated_execution_is_anomaly_free(seed, n_ops):
+    """The discrete-event executor accepts every PDW plan operationally."""
+    from repro.sim import SimEventKind, simulate_plan
+
+    assay = build(seed, n_ops, 4)
+    if assay is None:
+        return
+    result = synthesize(assay)
+    plan = optimize_washes(result, FAST)
+    report = simulate_plan(plan, result)
+    assert report.ok, [str(a) for a in report.anomalies]
+    assert report.count(SimEventKind.OPERATION_RUN) == assay.operation_count
+    assert report.count(SimEventKind.WASH_RUN) == plan.n_wash

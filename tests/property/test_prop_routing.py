@@ -1,0 +1,71 @@
+"""Property tests: routing invariants on the Fig. 2 chip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Router, figure2_chip
+from repro.arch.routing import is_simple
+
+CHIP = figure2_chip()
+ROUTER = Router(CHIP)
+INTERIOR = sorted(CHIP.washable_nodes)
+PORTS = CHIP.flow_ports + CHIP.waste_ports
+
+nodes = st.sampled_from(INTERIOR)
+
+
+@given(nodes, nodes)
+@settings(max_examples=100, deadline=None)
+def test_shortest_path_endpoints_and_simplicity(a, b):
+    if a == b:
+        return
+    path = ROUTER.shortest_path(a, b)
+    assert path[0] == a and path[-1] == b
+    assert is_simple(path)
+    CHIP.check_path(path)
+
+
+@given(nodes, nodes)
+@settings(max_examples=100, deadline=None)
+def test_shortest_path_is_symmetric_in_length(a, b):
+    if a == b:
+        return
+    assert ROUTER.distance_mm(a, b) == pytest.approx(ROUTER.distance_mm(b, a))
+
+
+@given(nodes, nodes)
+@settings(max_examples=100, deadline=None)
+def test_no_port_transit(a, b):
+    if a == b:
+        return
+    path = ROUTER.shortest_path(a, b)
+    assert not (set(path[1:-1]) & set(PORTS))
+
+
+@given(st.lists(nodes, min_size=1, max_size=4, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_path_through_covers_and_terminates_at_ports(targets):
+    try:
+        path = ROUTER.path_through("in1", targets, "out3")
+    except Exception:
+        return  # some target sets are not reachable from this port pair
+    assert set(targets) <= set(path)
+    assert path[0] == "in1" and path[-1] == "out3"
+    CHIP.check_path(path)
+
+
+@given(st.lists(nodes, min_size=1, max_size=3, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_port_to_port_candidates_valid(targets):
+    from repro.errors import RoutingError
+
+    try:
+        candidates = ROUTER.port_to_port_candidates(targets, max_candidates=4)
+    except RoutingError:
+        return
+    for path in candidates:
+        assert path[0] in CHIP.flow_ports
+        assert path[-1] in CHIP.waste_ports
+        assert set(targets) <= set(path)
+        CHIP.check_path(path)

@@ -1,0 +1,66 @@
+"""Property tests: Schedule container invariants over random task sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+NODES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def random_flow_task(draw, index):
+    start = draw(st.integers(min_value=0, max_value=30))
+    duration = draw(st.integers(min_value=1, max_value=6))
+    size = draw(st.integers(min_value=2, max_value=4))
+    path = tuple(draw(st.permutations(NODES))[:size])
+    kind = draw(st.sampled_from([TaskKind.TRANSPORT, TaskKind.REMOVAL, TaskKind.WASTE]))
+    return ScheduledTask(
+        id=f"t{index}", kind=kind, start=start, duration=duration,
+        path=path, fluid_type="f",
+    )
+
+
+@st.composite
+def random_schedule(draw):
+    n = draw(st.integers(min_value=0, max_value=10))
+    return Schedule([draw(random_flow_task(i)) for i in range(n)])
+
+
+@given(random_schedule())
+@settings(max_examples=120)
+def test_conflicts_match_pairwise_definition(schedule):
+    tasks = list(schedule)
+    reported = set(schedule.conflicts())
+    expected = set()
+    for i, a in enumerate(tasks):
+        for b in tasks[i + 1:]:
+            if a.conflicts_with(b):
+                expected.add(tuple(sorted((a.id, b.id))))
+    assert {tuple(sorted(p)) for p in reported} == expected
+
+
+@given(random_schedule())
+@settings(max_examples=100)
+def test_tasks_sorted_and_makespan_is_max_end(schedule):
+    ordered = schedule.tasks()
+    assert [t.start for t in ordered] == sorted(t.start for t in ordered)
+    assert schedule.makespan == max((t.end for t in ordered), default=0)
+
+
+@given(random_schedule(), st.integers(min_value=0, max_value=20))
+@settings(max_examples=80)
+def test_uniform_shift_preserves_conflicts(schedule, delta):
+    shifted = schedule.mapped(lambda t: t.shifted(delta))
+    def norm(pairs):
+        return {tuple(sorted(p)) for p in pairs}
+    assert norm(shifted.conflicts()) == norm(schedule.conflicts())
+
+
+@given(random_schedule())
+@settings(max_examples=80)
+def test_copy_equivalence(schedule):
+    clone = schedule.copy()
+    assert len(clone) == len(schedule)
+    for task in schedule:
+        assert clone.get(task.id) is task

@@ -1,0 +1,74 @@
+"""Property tests: the synthetic-assay generator and assay invariants."""
+
+import networkx as nx
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.assay.operations import is_transformative
+from repro.bench.synthetic import synthetic_assay
+from repro.errors import BenchmarkError
+
+
+@given(
+    n_ops=st.integers(min_value=2, max_value=25),
+    slack=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_generator_hits_exact_counts(n_ops, slack, seed):
+    n_edges = n_ops + slack
+    try:
+        g = synthetic_assay("prop", n_ops, n_edges, seed)
+    except BenchmarkError:
+        # Some (size, seed) combinations cannot absorb the edge budget,
+        # e.g. all ops ended up pass-through; the generator must say so.
+        return
+    assert g.operation_count == n_ops
+    assert g.edge_count == n_edges
+    g.validate()
+
+
+@given(
+    n_ops=st.integers(min_value=2, max_value=20),
+    slack=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_generated_assays_are_dags_with_consumed_reagents(n_ops, slack, seed):
+    try:
+        g = synthetic_assay("prop", n_ops, n_ops + slack, seed)
+    except BenchmarkError:
+        return
+    assert g.issues() == []
+    for reagent in g.reagents:
+        assert g.consumers_of(reagent.id)
+
+
+@given(
+    n_ops=st.integers(min_value=2, max_value=15),
+    slack=st.integers(min_value=2, max_value=15),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=50, deadline=None)
+def test_fluid_types_defined_for_all_nodes(n_ops, slack, seed):
+    try:
+        g = synthetic_assay("prop", n_ops, n_ops + slack, seed)
+    except BenchmarkError:
+        return
+    types = g.fluid_types()
+    for op in g.operations:
+        assert op.id in types
+        if not is_transformative(op.op_type):
+            assert types[op.id] == types[g.inputs_of(op.id)[0]]
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=40, deadline=None)
+def test_pass_through_ops_have_single_input(seed):
+    try:
+        g = synthetic_assay("prop", 12, 22, seed)
+    except BenchmarkError:
+        return
+    for op in g.operations:
+        if not is_transformative(op.op_type):
+            assert len(g.inputs_of(op.id)) == 1

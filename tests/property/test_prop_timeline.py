@@ -1,0 +1,64 @@
+"""Property tests: timeline occupancy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule import Timeline, intervals_overlap
+
+occupation = st.tuples(
+    st.sampled_from(["a", "b", "c"]),          # node
+    st.integers(min_value=0, max_value=50),    # start
+    st.integers(min_value=1, max_value=10),    # duration
+)
+
+
+@given(st.lists(occupation, max_size=20), st.integers(0, 60), st.integers(1, 8))
+@settings(max_examples=150)
+def test_earliest_fit_is_free_and_minimal(occupations, ready, duration):
+    tl = Timeline()
+    for node, start, dur in occupations:
+        tl.occupy([node], start, dur)
+    nodes = ["a", "b"]
+    t = tl.earliest_fit(nodes, ready, duration)
+    assert t >= ready
+    assert tl.is_free(nodes, t, duration)
+    # minimality: no earlier feasible start in [ready, t)
+    for earlier in range(ready, t):
+        assert not tl.is_free(nodes, earlier, duration)
+
+
+@given(st.lists(occupation, max_size=20))
+@settings(max_examples=100)
+def test_busy_intervals_sorted(occupations):
+    tl = Timeline()
+    for node, start, dur in occupations:
+        tl.occupy([node], start, dur)
+    for node in ("a", "b", "c"):
+        intervals = tl.busy_intervals(node)
+        assert intervals == sorted(intervals)
+
+
+@given(
+    st.tuples(st.integers(0, 30), st.integers(1, 10)),
+    st.tuples(st.integers(0, 30), st.integers(1, 10)),
+)
+@settings(max_examples=150)
+def test_interval_overlap_symmetric(a, b):
+    ia = (a[0], a[0] + a[1])
+    ib = (b[0], b[0] + b[1])
+    assert intervals_overlap(ia, ib) == intervals_overlap(ib, ia)
+
+
+@given(st.lists(occupation, max_size=15), st.integers(0, 40), st.integers(1, 6))
+@settings(max_examples=100)
+def test_occupying_the_found_slot_never_conflicts(occupations, ready, duration):
+    tl = Timeline()
+    placed = []
+    for node, start, dur in occupations:
+        tl.occupy([node], start, dur)
+        placed.append((node, start, start + dur))
+    t = tl.earliest_fit(["a", "c"], ready, duration)
+    window = (t, t + duration)
+    for node, s, e in placed:
+        if node in ("a", "c"):
+            assert not intervals_overlap(window, (s, e))

@@ -1,0 +1,84 @@
+"""Unit tests for volume accounting and chip-cost reporting."""
+
+import pytest
+
+from repro.analysis import ChipCostReport, VolumeModel, chip_cost, compare_plans
+from repro.arch import figure2_chip
+
+
+class TestVolumeModel:
+    def test_path_volume(self):
+        model = VolumeModel(cross_section_mm2=0.01)
+        assert model.path_volume_ul(100.0) == pytest.approx(1.0)
+
+    def test_flush_volume(self):
+        model = VolumeModel(cross_section_mm2=0.01, flow_velocity_mm_s=10.0)
+        assert model.flush_volume_ul(5.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolumeModel(cross_section_mm2=0)
+        with pytest.raises(ValueError):
+            VolumeModel(flow_velocity_mm_s=-1)
+        with pytest.raises(ValueError):
+            VolumeModel().path_volume_ul(-1)
+        with pytest.raises(ValueError):
+            VolumeModel().flush_volume_ul(-1)
+
+    def test_wash_buffer_scales_with_duration(self, demo_pdw_plan):
+        model = VolumeModel()
+        total = model.wash_buffer_ul(demo_pdw_plan)
+        expected = sum(
+            model.flush_volume_ul(w.duration) for w in demo_pdw_plan.washes
+        )
+        assert total == pytest.approx(expected)
+        assert total > 0
+
+    def test_pdw_uses_less_buffer_than_dawo(self, demo_pdw_plan, demo_dawo_plan):
+        model = VolumeModel()
+        assert model.wash_buffer_ul(demo_pdw_plan) <= model.wash_buffer_ul(
+            demo_dawo_plan
+        )
+
+    def test_reagent_volume_positive(self, demo_pdw_plan):
+        assert VolumeModel().reagent_ul(demo_pdw_plan.schedule) > 0
+
+    def test_plan_volumes_mapping(self, demo_pdw_plan):
+        vols = VolumeModel().plan_volumes(demo_pdw_plan)
+        assert set(vols) == {"wash_buffer_ul", "reagent_ul"}
+
+
+class TestChipCost:
+    def test_static_report_figure2(self):
+        report = chip_cost(figure2_chip())
+        assert report.devices == 5
+        assert report.flow_ports == 4
+        assert report.waste_ports == 4
+        assert report.channel_segments == 37
+        assert report.valves > 0
+        assert report.control_ports is None
+
+    def test_schedule_dependent_fields(self, demo_synthesis):
+        report = chip_cost(demo_synthesis.chip, demo_synthesis.schedule)
+        assert report.control_ports is not None
+        assert report.valve_switches > 0
+        assert report.control_ports <= report.valves
+
+    def test_as_dict_round_trip(self, demo_synthesis):
+        report = chip_cost(demo_synthesis.chip, demo_synthesis.schedule)
+        data = report.as_dict()
+        assert data["devices"] == report.devices
+        assert "control_ports" in data
+        data2 = chip_cost(figure2_chip()).as_dict()
+        assert "control_ports" not in data2
+
+
+class TestComparePlans:
+    def test_renders_table(self, demo_pdw_plan, demo_dawo_plan):
+        text = compare_plans([demo_pdw_plan, demo_dawo_plan])
+        assert "PDW" in text and "DAWO" in text
+        assert "wash_buffer_ul" in text
+        assert "valve_switches" in text
+
+    def test_empty_plans(self):
+        assert "no plans" in compare_plans([])

@@ -1,0 +1,98 @@
+"""Unit tests for the assay text DSL."""
+
+import pytest
+
+from repro.assay.dsl import format_assay, parse_assay
+from repro.errors import AssayError
+
+SAMPLE = """
+assay glucose-test
+# inputs
+reagent s1 : serum
+reagent g1 : glucose-agent
+reagent b1 : diluent
+# protocol
+mix1 = mix(s1, g1) @ 5s
+dil1 = dilute(mix1, b1)
+det1 = detect(dil1) @ 4s
+"""
+
+
+class TestParse:
+    def test_parses_sample(self):
+        g = parse_assay(SAMPLE)
+        assert g.name == "glucose-test"
+        assert g.operation_count == 3
+        assert len(g.reagents) == 3
+
+    def test_explicit_duration(self):
+        g = parse_assay(SAMPLE)
+        assert g.operation("mix1").duration == 5
+        assert g.operation("det1").duration == 4
+
+    def test_default_duration_when_omitted(self):
+        g = parse_assay(SAMPLE)
+        assert g.operation("dil1").duration == 5  # dilute default
+
+    def test_inputs_wired(self):
+        g = parse_assay(SAMPLE)
+        assert g.inputs_of("mix1") == ["g1", "s1"]
+        assert g.inputs_of("det1") == ["dil1"]
+
+    def test_comments_and_blanks_ignored(self):
+        g = parse_assay("assay t\nreagent r : x\n\n# c\no = mix(r)\n")
+        assert g.operation_count == 1
+
+
+class TestParseErrors:
+    def test_missing_assay_header(self):
+        with pytest.raises(AssayError, match="must start"):
+            parse_assay("reagent r : x\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(AssayError, match="duplicate"):
+            parse_assay("assay a\nassay b\n")
+
+    def test_unknown_statement_with_line_number(self):
+        with pytest.raises(AssayError, match="line 3"):
+            parse_assay("assay t\nreagent r : x\nthis is nonsense\n")
+
+    def test_unknown_op_type(self):
+        with pytest.raises(AssayError, match="line 3"):
+            parse_assay("assay t\nreagent r : x\no = levitate(r)\n")
+
+    def test_unknown_input(self):
+        with pytest.raises(AssayError, match="line 2"):
+            parse_assay("assay t\no = mix(ghost)\n")
+
+    def test_empty_document(self):
+        with pytest.raises(AssayError, match="empty"):
+            parse_assay("# nothing\n")
+
+    def test_operation_without_inputs(self):
+        with pytest.raises(AssayError):
+            parse_assay("assay t\nreagent r : x\no = mix()\n")
+
+
+class TestRoundTrip:
+    def test_format_parse_round_trip(self):
+        g = parse_assay(SAMPLE)
+        again = parse_assay(format_assay(g))
+        assert again.name == g.name
+        assert again.operation_count == g.operation_count
+        assert again.edge_count == g.edge_count
+        for op in g.operations:
+            assert again.inputs_of(op.id) == g.inputs_of(op.id)
+            assert again.operation(op.id).duration == g.operation(op.id).duration
+
+    def test_round_trip_on_demo_assay(self, demo_assay):
+        again = parse_assay(format_assay(demo_assay))
+        assert again.fluid_types() == demo_assay.fluid_types()
+
+    def test_round_trip_on_benchmarks(self):
+        from repro.bench import load_benchmark
+
+        for name in ("PCR", "IVD", "Kinase-act-1"):
+            g = load_benchmark(name)
+            again = parse_assay(format_assay(g))
+            assert again.edge_count == g.edge_count

@@ -1,0 +1,63 @@
+"""Unit tests for assay JSON (de)serialization."""
+
+import pytest
+
+from repro.assay import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from repro.errors import AssayError
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_structure(self, demo_assay):
+        restored = graph_from_json(graph_to_json(demo_assay))
+        assert restored.name == demo_assay.name
+        assert restored.operation_count == demo_assay.operation_count
+        assert restored.edge_count == demo_assay.edge_count
+        for op in demo_assay.operations:
+            assert restored.inputs_of(op.id) == demo_assay.inputs_of(op.id)
+
+    def test_round_trip_preserves_fluid_types(self, demo_assay):
+        restored = graph_from_json(graph_to_json(demo_assay))
+        assert restored.fluid_types() == demo_assay.fluid_types()
+
+    def test_dict_round_trip_preserves_durations(self, demo_assay):
+        data = graph_to_dict(demo_assay)
+        data["operations"][0]["duration_s"] = 42
+        restored = graph_from_dict(data)
+        assert restored.operation("o1").duration == 42
+
+
+class TestErrorHandling:
+    def test_malformed_json(self):
+        with pytest.raises(AssayError):
+            graph_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(AssayError):
+            graph_from_json("[1, 2]")
+
+    def test_missing_fields(self):
+        with pytest.raises(AssayError):
+            graph_from_dict({"reagents": []})
+
+    def test_invalid_graph_rejected_on_load(self):
+        doc = {
+            "name": "bad",
+            "reagents": [{"id": "r1", "fluid_type": "x"}],
+            "operations": [],
+        }
+        with pytest.raises(AssayError):
+            graph_from_dict(doc)
+
+    def test_operation_missing_inputs_field(self):
+        doc = {
+            "name": "bad",
+            "reagents": [{"id": "r1", "fluid_type": "x"}],
+            "operations": [{"id": "o1", "op_type": "mix"}],
+        }
+        with pytest.raises(AssayError):
+            graph_from_dict(doc)

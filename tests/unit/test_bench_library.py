@@ -1,0 +1,84 @@
+"""Unit tests for the Table II benchmark suite."""
+
+import pytest
+
+from repro.bench import BENCHMARKS, benchmark, benchmark_names, load_benchmark
+from repro.bench.synthetic import synthetic_assay
+from repro.errors import BenchmarkError
+
+#: Expected |O|/|D|/|E| straight from Table II column 2.
+TABLE2_SIZES = {
+    "PCR": (7, 5, 15),
+    "IVD": (12, 9, 24),
+    "ProteinSplit": (14, 11, 27),
+    "Kinase-act-1": (4, 9, 16),
+    "Kinase-act-2": (12, 9, 48),
+    "Synthetic1": (10, 12, 15),
+    "Synthetic2": (15, 13, 24),
+    "Synthetic3": (20, 18, 28),
+}
+
+
+class TestRegistry:
+    def test_all_eight_present_in_order(self):
+        assert benchmark_names() == list(TABLE2_SIZES)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BenchmarkError):
+            benchmark("NotABenchmark")
+        with pytest.raises(BenchmarkError):
+            load_benchmark("NotABenchmark")
+
+    @pytest.mark.parametrize("name", list(TABLE2_SIZES))
+    def test_sizes_match_table2(self, name):
+        ops, devices, edges = TABLE2_SIZES[name]
+        graph = load_benchmark(name)
+        assert graph.operation_count == ops
+        assert graph.edge_count == edges
+        assert benchmark(name).device_total == devices
+
+    @pytest.mark.parametrize("name", list(TABLE2_SIZES))
+    def test_graphs_are_valid(self, name):
+        load_benchmark(name).validate()
+
+    @pytest.mark.parametrize("name", list(TABLE2_SIZES))
+    def test_inventory_covers_required_kinds(self, name):
+        graph = load_benchmark(name)
+        inventory = {k.value: n for k, n in benchmark(name).inventory.items()}
+        for kind in graph.required_device_kinds():
+            assert inventory.get(kind, 0) >= 1, kind
+
+    @pytest.mark.parametrize("name", list(TABLE2_SIZES))
+    def test_paper_rows_have_pdw_not_worse(self, name):
+        spec = benchmark(name)
+        for d, p in zip(spec.paper_dawo, spec.paper_pdw):
+            assert p <= d
+
+    def test_loading_is_deterministic(self):
+        a, b = load_benchmark("Synthetic2"), load_benchmark("Synthetic2")
+        assert a.dependency_edges() == b.dependency_edges()
+
+
+class TestSyntheticGenerator:
+    def test_exact_counts(self):
+        g = synthetic_assay("t", n_ops=8, n_edges=14, seed=7)
+        assert g.operation_count == 8
+        assert g.edge_count == 14
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_assay("t", 10, 18, seed=1)
+        b = synthetic_assay("t", 10, 18, seed=1)
+        assert a.dependency_edges() == b.dependency_edges()
+
+    def test_different_seeds_differ(self):
+        a = synthetic_assay("t", 12, 20, seed=1)
+        b = synthetic_assay("t", 12, 20, seed=2)
+        assert a.dependency_edges() != b.dependency_edges()
+
+    def test_infeasible_budget_rejected(self):
+        with pytest.raises(BenchmarkError):
+            synthetic_assay("t", n_ops=10, n_edges=10, seed=1)
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(BenchmarkError):
+            synthetic_assay("t", n_ops=0, n_edges=5, seed=1)

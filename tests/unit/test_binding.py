@@ -1,0 +1,67 @@
+"""Unit tests for operation-to-device binding."""
+
+import pytest
+
+from repro.arch import DeviceKind
+from repro.errors import SynthesisError
+from repro.synth.binding import (
+    bind_operations,
+    build_device_list,
+    derive_inventory,
+)
+
+
+class TestDeriveInventory:
+    def test_one_device_per_three_ops(self, demo_assay):
+        inv = derive_inventory(demo_assay, ops_per_device=3)
+        assert inv[DeviceKind.MIXER] == 1  # 3 mix ops
+        assert inv[DeviceKind.DETECTOR] == 1
+        assert inv[DeviceKind.HEATER] == 1
+
+    def test_tighter_packing_gives_more_devices(self, demo_assay):
+        inv = derive_inventory(demo_assay, ops_per_device=1)
+        assert inv[DeviceKind.MIXER] == 3
+
+    def test_rejects_bad_ratio(self, demo_assay):
+        with pytest.raises(SynthesisError):
+            derive_inventory(demo_assay, ops_per_device=0)
+
+
+class TestBuildDeviceList:
+    def test_names_are_indexed_by_kind(self):
+        devices = build_device_list({DeviceKind.MIXER: 2, DeviceKind.HEATER: 1})
+        assert [d.name for d in devices] == ["heater1", "mixer1", "mixer2"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_device_list({DeviceKind.MIXER: -1})
+
+
+class TestBindOperations:
+    def test_every_op_bound_to_compatible_device(self, demo_assay):
+        devices = build_device_list({DeviceKind.MIXER: 2, DeviceKind.DETECTOR: 1,
+                                     DeviceKind.HEATER: 1})
+        binding = bind_operations(demo_assay, devices)
+        assert set(binding) == {o.id for o in demo_assay.operations}
+        by_name = {d.name: d for d in devices}
+        for op in demo_assay.operations:
+            assert by_name[binding[op.id]].can_execute(op.op_type)
+
+    def test_load_balancing_across_mixers(self, demo_assay):
+        devices = build_device_list({DeviceKind.MIXER: 3, DeviceKind.DETECTOR: 1,
+                                     DeviceKind.HEATER: 1})
+        binding = bind_operations(demo_assay, devices)
+        mixers_used = {binding[o] for o in ("o1", "o2", "o5")}
+        assert len(mixers_used) == 3
+
+    def test_missing_device_kind_raises(self, demo_assay):
+        devices = build_device_list({DeviceKind.MIXER: 1})
+        with pytest.raises(SynthesisError):
+            bind_operations(demo_assay, devices)
+
+    def test_deterministic(self, demo_assay):
+        devices = build_device_list({DeviceKind.MIXER: 2, DeviceKind.DETECTOR: 1,
+                                     DeviceKind.HEATER: 1})
+        assert bind_operations(demo_assay, devices) == bind_operations(
+            demo_assay, devices
+        )

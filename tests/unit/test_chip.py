@@ -1,0 +1,134 @@
+"""Unit tests for the Chip flow-network model and its builder."""
+
+import pytest
+
+from repro.arch import ChipBuilder, DeviceKind, NodeKind
+from repro.errors import ArchitectureError, RoutingError
+from repro.units import PhysicalParameters
+
+
+def tiny_chip():
+    """in1 - a - mixer - b - out1, with a stub junction c off node a."""
+    b = ChipBuilder("tiny")
+    b.add_flow_port("in1").add_waste_port("out1")
+    b.add_device("mixer", DeviceKind.MIXER)
+    b.add_junctions("a", "b", "c")
+    b.connect("in1", "a", "mixer", "b", "out1")
+    b.add_channel("a", "c")
+    return b.build()
+
+
+class TestBuilderValidation:
+    def test_duplicate_node_rejected(self):
+        b = ChipBuilder("t")
+        b.add_junction("a")
+        with pytest.raises(ArchitectureError):
+            b.add_junction("a")
+
+    def test_channel_to_unknown_node(self):
+        b = ChipBuilder("t")
+        b.add_junction("a")
+        with pytest.raises(ArchitectureError):
+            b.add_channel("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        b = ChipBuilder("t")
+        b.add_junction("a")
+        with pytest.raises(ArchitectureError):
+            b.add_channel("a", "a")
+
+    def test_connect_needs_two_nodes(self):
+        with pytest.raises(ArchitectureError):
+            ChipBuilder("t").connect("only")
+
+    def test_chip_requires_ports(self):
+        b = ChipBuilder("t")
+        b.add_junction("a").add_junction("z")
+        b.add_channel("a", "z")
+        with pytest.raises(ArchitectureError):
+            b.build()
+
+    def test_disconnected_network_rejected(self):
+        b = ChipBuilder("t")
+        b.add_flow_port("in1").add_waste_port("out1")
+        b.add_junctions("a", "island1", "island2")
+        b.connect("in1", "a", "out1")
+        b.add_channel("island1", "island2")
+        with pytest.raises(ArchitectureError):
+            b.build()
+
+    def test_detached_port_rejected(self):
+        b = ChipBuilder("t")
+        b.add_flow_port("in1").add_waste_port("out1")
+        with pytest.raises(ArchitectureError):
+            b.build()
+
+
+class TestChipQueries:
+    def test_node_kinds(self):
+        chip = tiny_chip()
+        assert chip.kind_of("in1") is NodeKind.FLOW_PORT
+        assert chip.kind_of("out1") is NodeKind.WASTE_PORT
+        assert chip.kind_of("mixer") is NodeKind.DEVICE
+        assert chip.kind_of("a") is NodeKind.CHANNEL
+
+    def test_port_and_device_predicates(self):
+        chip = tiny_chip()
+        assert chip.is_port("in1") and chip.is_port("out1")
+        assert not chip.is_port("mixer")
+        assert chip.is_device("mixer") and not chip.is_device("a")
+
+    def test_washable_excludes_ports(self):
+        chip = tiny_chip()
+        assert set(chip.washable_nodes) == {"a", "b", "c", "mixer"}
+
+    def test_devices_of_kind(self):
+        chip = tiny_chip()
+        assert [d.name for d in chip.devices_of_kind(DeviceKind.MIXER)] == ["mixer"]
+        assert chip.devices_of_kind(DeviceKind.HEATER) == []
+
+    def test_stats(self):
+        s = tiny_chip().stats()
+        assert s == {
+            "nodes": 6, "edges": 5, "devices": 1, "flow_ports": 1, "waste_ports": 1,
+        }
+
+
+class TestPathGeometry:
+    def test_path_length_uses_pitch(self):
+        chip = tiny_chip()
+        pitch = chip.parameters.cell_pitch_mm
+        assert chip.path_length_mm(["in1", "a", "mixer"]) == pytest.approx(2 * pitch)
+
+    def test_path_cells(self):
+        chip = tiny_chip()
+        assert chip.path_cells(["in1", "a", "mixer"]) == 2
+        assert chip.path_cells(["in1"]) == 0
+
+    def test_check_path_accepts_valid_walk(self):
+        chip = tiny_chip()
+        assert chip.check_path(["in1", "a", "mixer", "b", "out1"])
+
+    def test_check_path_rejects_teleport(self):
+        chip = tiny_chip()
+        with pytest.raises(RoutingError):
+            chip.check_path(["in1", "b"])
+
+    def test_check_path_rejects_single_node(self):
+        with pytest.raises(RoutingError):
+            tiny_chip().check_path(["in1"])
+
+    def test_edge_length_missing_edge(self):
+        with pytest.raises(RoutingError):
+            tiny_chip().edge_length_mm("in1", "out1")
+
+    def test_transport_and_wash_times(self):
+        params = PhysicalParameters(flow_velocity_mm_s=10.0, cell_pitch_mm=5.0,
+                                    dissolution_time_s=2.0)
+        b = ChipBuilder("t", params)
+        b.add_flow_port("in1").add_waste_port("out1").add_junction("a")
+        b.connect("in1", "a", "out1")
+        chip = b.build()
+        path = ["in1", "a", "out1"]
+        assert chip.transport_time_s(path) == 1  # 10mm / 10mm/s
+        assert chip.wash_time_s(path) == 3  # 1s flush + 2s dissolution

@@ -1,0 +1,105 @@
+"""Unit tests for the pdw command-line interface."""
+
+import json
+
+import pytest
+
+from repro.assay import graph_to_json
+from repro.cli import main
+
+
+class TestCliList:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "PCR" in out and "Synthetic3" in out
+
+
+class TestCliRun:
+    def test_run_pcr_pdw(self, capsys):
+        assert main(["run", "PCR", "--time-limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "method:      PDW" in out
+        assert "n_wash:" in out
+
+    def test_run_dawo(self, capsys):
+        assert main(["run", "PCR", "--method", "dawo"]) == 0
+        assert "DAWO" in capsys.readouterr().out
+
+    def test_run_with_gantt_and_chip(self, capsys):
+        assert main(["run", "PCR", "--gantt", "--chip", "--time-limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "I=flow port" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NotThere"])
+
+
+class TestCliCostAndSimulate:
+    def test_cost_report(self, capsys):
+        assert main(["cost", "PCR", "--time-limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "valves" in out
+        assert "wash_buffer_ul" in out
+
+    def test_simulate_ok(self, capsys):
+        assert main(["simulate", "PCR", "--time-limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "execution OK" in out
+
+    def test_simulate_full_event_log(self, capsys):
+        assert main(["simulate", "PCR", "--time-limit", "30", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "operation_run" in out
+
+
+class TestCliExport:
+    def test_export_plan_json(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert main(["export", "PCR", "--what", "plan", "--time-limit", "30",
+                     "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["method"] == "PDW"
+
+    def test_export_actuation_csv(self, capsys):
+        assert main(["export", "PCR", "--what", "actuation",
+                     "--time-limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# valve program")
+        assert "tick," in out
+
+    def test_export_svg(self, tmp_path, capsys):
+        out = tmp_path / "chip.svg"
+        assert main(["export", "PCR", "--what", "svg", "--time-limit", "30",
+                     "--out", str(out)]) == 0
+        assert out.read_text().startswith("<svg")
+
+
+class TestCliAssay:
+    def test_optimizes_user_assay_file(self, tmp_path, capsys, demo_assay):
+        path = tmp_path / "assay.json"
+        path.write_text(graph_to_json(demo_assay))
+        assert main(["assay", str(path), "--time-limit", "30"]) == 0
+        assert "n_wash:" in capsys.readouterr().out
+
+    def test_optimizes_dsl_assay_file(self, tmp_path, capsys):
+        path = tmp_path / "assay.dsl"
+        path.write_text(
+            "assay t\n"
+            "reagent r1 : serum\n"
+            "reagent r2 : dye\n"
+            "m = mix(r1, r2)\n"
+            "d = detect(m)\n"
+        )
+        assert main(["assay", str(path), "--time-limit", "30"]) == 0
+        assert "n_wash:" in capsys.readouterr().out
+
+    def test_malformed_file_raises_assay_error(self, tmp_path):
+        from repro.errors import AssayError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(AssayError):
+            main(["assay", str(path)])

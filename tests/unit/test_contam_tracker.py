@@ -1,0 +1,124 @@
+"""Unit tests for the contamination tracker and the plan verifier."""
+
+import pytest
+
+from repro.arch import ChipBuilder, DeviceKind
+from repro.contam import ContaminationTracker, contamination_violations
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+
+@pytest.fixture
+def line_chip():
+    """in1 - a - mixer - b - out1."""
+    b = ChipBuilder("line")
+    b.add_flow_port("in1").add_waste_port("out1")
+    b.add_device("mixer", DeviceKind.MIXER)
+    b.add_junctions("a", "b")
+    b.connect("in1", "a", "mixer", "b", "out1")
+    return b.build()
+
+
+def transport(tid, start, path, fluid, edge=None, kind=TaskKind.TRANSPORT, duration=2):
+    return ScheduledTask(
+        id=tid, kind=kind, start=start, duration=duration,
+        path=tuple(path), fluid_type=fluid, edge=edge,
+    )
+
+
+class TestTracker:
+    def test_flow_contaminates_interior_nodes_only(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer", "b", "out1"), "dye"),
+        ])
+        tracker = ContaminationTracker(line_chip, sched)
+        assert tracker.contaminated_nodes() == ["a", "b", "mixer"]
+
+    def test_event_time_is_task_end(self, line_chip):
+        sched = Schedule([transport("t1", 3, ("in1", "a", "mixer"), "dye")])
+        tracker = ContaminationTracker(line_chip, sched)
+        assert all(e.time == 5 for e in tracker.events())
+
+    def test_wash_task_leaves_no_residue(self, line_chip):
+        sched = Schedule([
+            ScheduledTask(id="w", kind=TaskKind.WASH, start=0, duration=2,
+                          path=("in1", "a", "mixer", "b", "out1")),
+        ])
+        tracker = ContaminationTracker(line_chip, sched)
+        assert tracker.events() == []
+
+    def test_operation_contaminates_device(self, line_chip):
+        sched = Schedule([
+            ScheduledTask(id="op:o1", kind=TaskKind.OPERATION, start=0, duration=4,
+                          device="mixer", op_id="o1", fluid_type="product"),
+        ])
+        tracker = ContaminationTracker(line_chip, sched)
+        assert [e.node for e in tracker.events()] == ["mixer"]
+
+    def test_uses_after_filters_by_time(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye"),
+            transport("t2", 5, ("in1", "a", "mixer"), "ink"),
+        ])
+        tracker = ContaminationTracker(line_chip, sched)
+        later = tracker.uses_after("a", 2)
+        assert [u.task_id for u in later] == ["t2"]
+
+    def test_uses_chronological(self, line_chip):
+        sched = Schedule([
+            transport("t2", 5, ("in1", "a", "mixer"), "ink"),
+            transport("t1", 0, ("in1", "a", "mixer"), "dye"),
+        ])
+        tracker = ContaminationTracker(line_chip, sched)
+        assert [u.task_id for u in tracker.uses_of("a")] == ["t1", "t2"]
+
+
+class TestViolationChecker:
+    def test_clean_sequence_passes(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye"),
+            transport("t2", 5, ("in1", "a", "mixer"), "dye"),
+        ])
+        assert contamination_violations(line_chip, sched) == []
+
+    def test_foreign_residue_flagged(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            transport("t2", 5, ("in1", "a", "mixer"), "ink", edge=("r2", "o2")),
+        ])
+        violations = contamination_violations(line_chip, sched)
+        assert {v.node for v in violations} == {"a", "mixer"}
+        assert all(v.task_id == "t2" for v in violations)
+
+    def test_wash_between_clears_residue(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            ScheduledTask(id="w", kind=TaskKind.WASH, start=2, duration=2,
+                          path=("in1", "a", "mixer", "b", "out1")),
+            transport("t2", 5, ("in1", "a", "mixer"), "ink", edge=("r2", "o2")),
+        ])
+        assert contamination_violations(line_chip, sched) == []
+
+    def test_co_inputs_of_same_operation_are_related(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            transport("t2", 3, ("in1", "a", "mixer"), "ink", edge=("r2", "o1")),
+        ])
+        assert contamination_violations(line_chip, sched) == []
+
+    def test_waste_flows_tolerate_residue(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            transport("t2", 5, ("mixer", "b", "out1"), "junk", edge=("o1", "waste"),
+                      kind=TaskKind.WASTE),
+        ])
+        assert contamination_violations(line_chip, sched) == []
+
+    def test_violation_reports_residue_and_fluid(self, line_chip):
+        sched = Schedule([
+            transport("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            transport("t2", 5, ("in1", "a", "mixer"), "ink", edge=("r2", "o2")),
+        ])
+        v = contamination_violations(line_chip, sched)[0]
+        assert v.residue_type == "dye"
+        assert v.fluid_type == "ink"
+        assert "t2" in str(v)

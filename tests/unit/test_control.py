@@ -1,0 +1,138 @@
+"""Unit tests for the control layer (valves and actuation)."""
+
+import pytest
+
+from repro.arch import ChipBuilder, DeviceKind, figure2_chip
+from repro.arch.control import ControlLayer, _norm
+from repro.errors import ArchitectureError
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+
+@pytest.fixture(scope="module")
+def fig2_layer():
+    return ControlLayer(figure2_chip())
+
+
+def straight_chip():
+    """in1 - a - b - c - out1 (no branches except at the ports)."""
+    builder = ChipBuilder("straight")
+    builder.add_flow_port("in1").add_waste_port("out1")
+    builder.add_junctions("a", "b", "c")
+    builder.connect("in1", "a", "b", "c", "out1")
+    return builder.build()
+
+
+class TestValvePlacement:
+    def test_branching_segments_get_valves(self, fig2_layer):
+        # s3 has degree 3 -> all its segments are gated.
+        for neighbor in fig2_layer.chip.neighbors("s3"):
+            assert fig2_layer.valve_on("s3", neighbor) is not None
+
+    def test_straight_segments_need_no_valve(self):
+        layer = ControlLayer(straight_chip())
+        # a-b and b-c connect degree-2 junctions: no leakage possible.
+        assert layer.valve_on("a", "b") is None
+        assert layer.valve_on("b", "c") is None
+
+    def test_port_segments_always_gated(self):
+        layer = ControlLayer(straight_chip())
+        assert layer.valve_on("in1", "a") is not None
+        assert layer.valve_on("c", "out1") is not None
+
+    def test_valve_ids_unique(self, fig2_layer):
+        ids = [v.id for v in fig2_layer.valves.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_norm_is_order_insensitive(self):
+        assert _norm("b", "a") == _norm("a", "b")
+
+    def test_valve_gates_both_orders(self, fig2_layer):
+        valve = fig2_layer.valve_on("s3", "s4")
+        assert valve.gates("s4", "s3")
+
+
+class TestPathIsolation:
+    def test_open_set_covers_gated_path_segments(self, fig2_layer):
+        path = ("in1", "s2", "s3", "s4", "out1")
+        open_v, _ = fig2_layer.path_valves(path)
+        for a, b in zip(path, path[1:]):
+            valve = fig2_layer.valve_on(a, b)
+            if valve is not None:
+                assert valve in open_v
+
+    def test_closed_set_blocks_side_branches(self, fig2_layer):
+        path = ("in1", "s2", "s3", "s4", "out1")
+        _, closed_v = fig2_layer.path_valves(path)
+        # s3 branches to s15: that valve must be closed.
+        assert fig2_layer.valve_on("s3", "s15") in closed_v
+        # The filter branch off s2 must be closed too.
+        assert fig2_layer.valve_on("s2", "filter") in closed_v
+
+    def test_open_and_closed_disjoint(self, fig2_layer):
+        open_v, closed_v = fig2_layer.path_valves(("in3", "s9", "det1", "s10"))
+        assert not (open_v & closed_v)
+
+
+class TestActuation:
+    def flow(self, tid, start, path, kind=TaskKind.TRANSPORT):
+        return ScheduledTask(
+            id=tid, kind=kind, start=start, duration=2, path=path, fluid_type="f",
+        )
+
+    def test_conflict_free_schedule_builds_table(self, fig2_layer):
+        sched = Schedule([
+            self.flow("t1", 0, ("in1", "s2", "s3", "s4", "out1")),
+            self.flow("t2", 0, ("in4", "s13", "s12", "s16", "s15", "s11", "out4")),
+            self.flow("t3", 3, ("in2", "s7", "s6", "s5", "out1")),
+        ])
+        assert sched.conflicts() == []
+        table = fig2_layer.actuation_table(sched)
+        assert table.horizon == 5
+        assert table.open_valves(0)
+
+    def test_node_conflicting_tasks_rejected_by_valves(self, fig2_layer):
+        # Both paths use s3 concurrently in incompatible directions.
+        sched = Schedule([
+            self.flow("t1", 0, ("in1", "s2", "s3", "s4", "out1")),
+            self.flow("t2", 0, ("in1", "s2", "s3", "s15", "s11", "out4")),
+        ])
+        with pytest.raises(ArchitectureError):
+            fig2_layer.actuation_table(sched)
+
+    def test_operation_traps_fluid(self, fig2_layer):
+        sched = Schedule([
+            ScheduledTask(id="op:o1", kind=TaskKind.OPERATION, start=0, duration=3,
+                          device="mixer", op_id="o1", fluid_type="f"),
+        ])
+        table = fig2_layer.actuation_table(sched)
+        assert table.open_valves(0) == frozenset()
+        # both mixer end valves demanded closed
+        assert table.horizon == 3
+
+    def test_switch_count_counts_transitions(self, fig2_layer):
+        sched = Schedule([self.flow("t1", 0, ("in1", "s1", "out2"))])
+        table = fig2_layer.actuation_table(sched)
+        open_now = len(table.open_valves(0))
+        # each open valve opens once and closes once
+        assert table.switch_count() == 2 * open_now
+
+    def test_control_port_sharing(self, fig2_layer):
+        sched = Schedule([self.flow("t1", 0, ("in1", "s1", "out2"))])
+        table = fig2_layer.actuation_table(sched)
+        groups = table.control_port_groups()
+        assert sum(len(g) for g in groups) == fig2_layer.valve_count
+        # all never-actuated valves share one port
+        assert table.control_port_count() < fig2_layer.valve_count
+
+
+class TestEndToEnd:
+    def test_benchmark_schedule_is_valve_consistent(self, demo_synthesis):
+        layer = ControlLayer(demo_synthesis.chip)
+        table = layer.actuation_table(demo_synthesis.schedule)
+        assert table.horizon >= demo_synthesis.schedule.makespan - 1
+        assert table.control_port_count() <= layer.valve_count
+
+    def test_pdw_plan_is_valve_consistent(self, demo_pdw_plan):
+        layer = ControlLayer(demo_pdw_plan.chip)
+        table = layer.actuation_table(demo_pdw_plan.schedule)
+        assert table.switch_count() > 0

@@ -1,0 +1,54 @@
+"""Unit tests for the device taxonomy."""
+
+import pytest
+
+from repro.arch import Device, DeviceKind
+from repro.arch.device import DEVICE_CAPABILITIES, kind_for_operation
+
+
+class TestDevice:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Device("", DeviceKind.MIXER)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            Device("m", DeviceKind.MIXER, capacity=0)
+
+    def test_capabilities_by_kind(self):
+        mixer = Device("m", DeviceKind.MIXER)
+        assert mixer.can_execute("mix")
+        assert mixer.can_execute("dilute")
+        assert not mixer.can_execute("detect")
+
+    def test_detector_only_detects(self):
+        det = Device("d", DeviceKind.DETECTOR)
+        assert det.capabilities == frozenset({"detect"})
+
+    def test_devices_are_frozen(self):
+        d = Device("m", DeviceKind.MIXER)
+        with pytest.raises(AttributeError):
+            d.name = "other"  # type: ignore[misc]
+
+
+class TestKindForOperation:
+    @pytest.mark.parametrize(
+        "op_type, kind",
+        [
+            ("mix", DeviceKind.MIXER),
+            ("heat", DeviceKind.HEATER),
+            ("detect", DeviceKind.DETECTOR),
+            ("filter", DeviceKind.FILTER),
+            ("split", DeviceKind.SEPARATOR),
+        ],
+    )
+    def test_known_operations(self, op_type, kind):
+        assert kind_for_operation(op_type) is kind
+
+    def test_unknown_operation(self):
+        with pytest.raises(KeyError):
+            kind_for_operation("teleport")
+
+    def test_every_kind_has_capabilities(self):
+        for kind in DeviceKind:
+            assert DEVICE_CAPABILITIES[kind], kind

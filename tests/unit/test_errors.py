@@ -1,0 +1,38 @@
+"""The exception hierarchy contracts downstream users rely on."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.IlpError,
+            errors.ModelError,
+            errors.SolverError,
+            errors.InfeasibleError,
+            errors.UnboundedError,
+            errors.ArchitectureError,
+            errors.GridError,
+            errors.RoutingError,
+            errors.AssayError,
+            errors.SynthesisError,
+            errors.SchedulingError,
+            errors.WashError,
+            errors.BenchmarkError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_grid_error_is_architecture_error(self):
+        assert issubclass(errors.GridError, errors.ArchitectureError)
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(errors.InfeasibleError, errors.SolverError)
+
+    def test_default_messages(self):
+        assert "infeasible" in str(errors.InfeasibleError())
+        assert "unbounded" in str(errors.UnboundedError())

@@ -1,0 +1,68 @@
+"""Unit tests for the virtual grid."""
+
+import pytest
+
+from repro.arch import Grid
+from repro.errors import GridError
+
+
+class TestGridBasics:
+    def test_rejects_degenerate_dimensions(self):
+        with pytest.raises(GridError):
+            Grid(0, 5)
+        with pytest.raises(GridError):
+            Grid(5, -1)
+
+    def test_contains(self):
+        g = Grid(3, 2)
+        assert g.contains((0, 0))
+        assert g.contains((2, 1))
+        assert not g.contains((3, 0))
+        assert not g.contains((0, -1))
+
+    def test_require_raises_outside(self):
+        with pytest.raises(GridError):
+            Grid(2, 2).require((5, 5))
+
+    def test_size_and_iteration(self):
+        g = Grid(3, 4)
+        cells = list(g)
+        assert g.size == 12
+        assert len(cells) == 12
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (2, 3)
+
+
+class TestNeighbors:
+    def test_interior_cell_has_four(self):
+        g = Grid(5, 5)
+        assert sorted(g.neighbors((2, 2))) == [(1, 2), (2, 1), (2, 3), (3, 2)]
+
+    def test_corner_cell_has_two(self):
+        assert sorted(Grid(5, 5).neighbors((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_edge_cell_has_three(self):
+        assert len(Grid(5, 5).neighbors((2, 0))) == 3
+
+
+class TestGeometry:
+    def test_manhattan(self):
+        assert Grid.manhattan((0, 0), (3, 4)) == 7
+        assert Grid.manhattan((2, 2), (2, 2)) == 0
+
+    def test_boundary_predicate(self):
+        g = Grid(4, 4)
+        assert g.is_boundary((0, 2))
+        assert g.is_boundary((3, 1))
+        assert not g.is_boundary((1, 1))
+
+    def test_boundary_cells_form_closed_ring(self):
+        g = Grid(4, 5)
+        ring = g.boundary_cells()
+        assert len(ring) == len(set(ring)) == 2 * (4 + 5) - 4
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            assert Grid.manhattan(a, b) == 1
+
+    def test_boundary_cells_degenerate_rows(self):
+        assert Grid(1, 3).boundary_cells() == [(0, 0), (0, 1), (0, 2)]
+        assert Grid(3, 1).boundary_cells() == [(0, 0), (1, 0), (2, 0)]

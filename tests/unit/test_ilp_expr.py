@@ -1,0 +1,123 @@
+"""Unit tests for linear-expression algebra."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp import LinExpr, Model, VarType
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+@pytest.fixture
+def xy(model):
+    return model.add_continuous_var("x"), model.add_continuous_var("y")
+
+
+class TestVariable:
+    def test_bounds_validation(self, model):
+        with pytest.raises(ModelError):
+            model.add_var("bad", lb=5, ub=1)
+
+    def test_nan_bound_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_var("bad", lb=float("nan"))
+
+    def test_binary_clamps_bounds(self, model):
+        b = model.add_binary_var("b")
+        assert (b.lb, b.ub) == (0.0, 1.0)
+        assert b.is_integral
+
+    def test_integer_is_integral(self, model):
+        assert model.add_integer_var("i").is_integral
+
+    def test_continuous_not_integral(self, xy):
+        assert not xy[0].is_integral
+
+    def test_duplicate_names_rejected(self, model):
+        model.add_continuous_var("x")
+        with pytest.raises(ModelError):
+            model.add_continuous_var("x")
+
+
+class TestLinExprArithmetic:
+    def test_add_variables(self, xy):
+        x, y = xy
+        expr = x + y
+        assert expr.terms == {x: 1.0, y: 1.0}
+        assert expr.constant == 0.0
+
+    def test_add_constant(self, xy):
+        x, _ = xy
+        assert (x + 3).constant == 3.0
+        assert (3 + x).constant == 3.0
+
+    def test_subtract(self, xy):
+        x, y = xy
+        expr = x - y - 2
+        assert expr.terms == {x: 1.0, y: -1.0}
+        assert expr.constant == -2.0
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        expr = 5 - x
+        assert expr.terms == {x: -1.0}
+        assert expr.constant == 5.0
+
+    def test_scalar_multiplication(self, xy):
+        x, y = xy
+        expr = 3 * x + y * 2
+        assert expr.terms == {x: 3.0, y: 2.0}
+
+    def test_negation(self, xy):
+        x, _ = xy
+        assert (-x).terms == {x: -1.0}
+
+    def test_cancellation_via_simplified(self, xy):
+        x, y = xy
+        expr = (x + y - x).simplified()
+        assert expr.terms == {y: 1.0}
+
+    def test_non_scalar_multiplication_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(TypeError):
+            LinExpr.from_any(x) * LinExpr.from_any(y)  # type: ignore[operator]
+
+    def test_sum_helper(self, model):
+        vs = [model.add_continuous_var(f"v{i}") for i in range(5)]
+        expr = LinExpr.sum(vs)
+        assert all(expr.terms[v] == 1.0 for v in vs)
+
+    def test_sum_empty(self):
+        expr = LinExpr.sum([])
+        assert expr.terms == {} and expr.constant == 0.0
+
+    def test_from_any_rejects_strings(self):
+        with pytest.raises(TypeError):
+            LinExpr.from_any("nope")  # type: ignore[arg-type]
+
+
+class TestComparisons:
+    def test_le_builds_relation(self, xy):
+        x, y = xy
+        expr, sense = x + y <= 5
+        assert sense == "<="
+        assert expr.constant == -5.0
+
+    def test_ge_builds_relation(self, xy):
+        x, _ = xy
+        _, sense = x >= 1
+        assert sense == ">="
+
+    def test_eq_builds_relation(self, xy):
+        x, y = xy
+        expr, sense = x == y
+        assert sense == "=="
+        assert expr.terms == {x: 1.0, y: -1.0}
+
+    def test_variable_comparison_constant(self, xy):
+        x, _ = xy
+        expr, sense = x <= 3
+        assert sense == "<=" and expr.constant == -3.0

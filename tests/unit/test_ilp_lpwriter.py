@@ -1,0 +1,70 @@
+"""Unit tests for the LP-format writer."""
+
+import io
+
+import pytest
+
+from repro.ilp import Model, write_lp
+
+
+@pytest.fixture
+def sample_model():
+    m = Model("sample")
+    x = m.add_integer_var("x", 0, 10)
+    y = m.add_continuous_var("y", 1, 5)
+    b = m.add_binary_var("flag")
+    m.add_constr(x + 2 * y <= 8, "cap")
+    m.add_constr(x - y >= -1, "floor")
+    m.add_constr(x + b == 3, "link")
+    m.set_objective(3 * x + y, sense="max")
+    return m
+
+
+class TestLpWriter:
+    def test_sections_present(self, sample_model):
+        text = write_lp(sample_model)
+        for section in ("Maximize", "Subject To", "Bounds", "General", "Binary", "End"):
+            assert section in text
+
+    def test_objective_rendered(self, sample_model):
+        assert "3 x + y" in write_lp(sample_model)
+
+    def test_constraint_senses(self, sample_model):
+        text = write_lp(sample_model)
+        assert "cap: x + 2 y <= 8" in text
+        assert "floor: x - y >= -1" in text
+        assert "link: x + flag = 3" in text
+
+    def test_bounds_rendered(self, sample_model):
+        text = write_lp(sample_model)
+        assert "0 <= x <= 10" in text
+        assert "1 <= y <= 5" in text
+
+    def test_binary_not_in_bounds(self, sample_model):
+        bounds = write_lp(sample_model).split("Bounds")[1].split("General")[0]
+        assert "flag" not in bounds
+
+    def test_stream_output(self, sample_model):
+        buf = io.StringIO()
+        text = write_lp(sample_model, buf)
+        assert buf.getvalue() == text
+
+    def test_bracketed_names_sanitized(self):
+        m = Model()
+        v = m.add_binary_var("x[a,b]")
+        m.add_constr(v <= 1)
+        m.set_objective(v)
+        text = write_lp(m)
+        assert "[" not in text.split("\n", 1)[1]
+
+    def test_minimize_header(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        m.set_objective(x)
+        assert write_lp(m).splitlines()[1] == "Minimize"
+
+    def test_infinite_bounds(self):
+        m = Model()
+        m.add_continuous_var("free", lb=float("-inf"))
+        m.set_objective(0 * m.variables[0])
+        assert "-inf <= free <= +inf" in write_lp(m)

@@ -1,0 +1,136 @@
+"""Unit tests for Model construction and the big-M helper patterns."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp import LinExpr, Model, SolveStatus
+
+
+class TestModelConstruction:
+    def test_rejects_nonpositive_big_m(self):
+        with pytest.raises(ModelError):
+            Model(big_m=0)
+
+    def test_add_constr_rejects_plain_bool(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.add_constr(True)  # type: ignore[arg-type]
+
+    def test_add_constr_rejects_foreign_variable(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.add_continuous_var("x")
+        with pytest.raises(ModelError):
+            m2.add_constr(x >= 0)
+
+    def test_objective_sense_validation(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        with pytest.raises(ModelError):
+            m.set_objective(x, sense="sideways")
+
+    def test_stats_counts(self):
+        m = Model("s")
+        m.add_binary_var("b")
+        m.add_continuous_var("c")
+        m.add_constr(m.variables[0] + m.variables[1] <= 1)
+        assert "2 vars" in m.stats()
+        assert "1 bin" in m.stats()
+        assert "1 constrs" in m.stats()
+
+    def test_add_constrs_prefix_names(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        cs = m.add_constrs([x >= 0, x <= 5], prefix="p")
+        assert [c.name for c in cs] == ["p_0", "p_1"]
+
+
+class TestDisjunction:
+    def test_two_tasks_cannot_overlap(self):
+        m = Model(big_m=100)
+        a_s = m.add_continuous_var("a_s", 0, 50)
+        b_s = m.add_continuous_var("b_s", 0, 50)
+        a_e, b_e = a_s + 3, b_s + 4
+        m.add_disjunction((a_e, b_s), (b_e, a_s))
+        mk = m.add_continuous_var("mk", 0, 100)
+        m.add_max_lower_bound(mk, [a_e, b_e])
+        m.set_objective(mk)
+        sol = m.solve()
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0)
+
+    def test_disjunction_returns_ordering_binary(self):
+        m = Model(big_m=100)
+        a = m.add_continuous_var("a", 0, 10)
+        b = m.add_continuous_var("b", 0, 10)
+        flag = m.add_binary_var  # count before
+        order = m.add_disjunction((a + 1, b), (b + 1, a))
+        assert order.is_integral
+
+
+class TestIndicators:
+    @pytest.mark.parametrize(
+        "values, expected_or, expected_and",
+        [
+            ((0, 0, 0), 0, 0),
+            ((1, 0, 0), 1, 0),
+            ((1, 1, 1), 1, 1),
+            ((0, 1, 1), 1, 0),
+        ],
+    )
+    def test_or_and_match_truth_table(self, values, expected_or, expected_and):
+        m = Model()
+        bs = [m.add_binary_var(f"b{i}") for i in range(3)]
+        o = m.add_or_indicator(bs)
+        a = m.add_and_indicator(bs)
+        for b, v in zip(bs, values):
+            m.add_constr(LinExpr.from_any(b) == v)
+        m.set_objective(LinExpr.sum([o, a]))
+        sol = m.solve()
+        assert sol.rounded(o) == expected_or
+        assert sol.rounded(a) == expected_and
+
+    def test_empty_or_is_false_and_empty_and_is_true(self):
+        m = Model()
+        o = m.add_or_indicator([])
+        a = m.add_and_indicator([])
+        m.set_objective(LinExpr.from_any(o) - LinExpr.from_any(a))
+        sol = m.solve()
+        assert sol.rounded(o) == 0
+        assert sol.rounded(a) == 1
+
+    def test_implication_active_when_binary_set(self):
+        m = Model(big_m=100)
+        b = m.add_binary_var("b")
+        x = m.add_continuous_var("x", 0, 50)
+        m.add_implication(b, x >= 10)
+        m.add_constr(LinExpr.from_any(b) == 1)
+        m.set_objective(x)
+        assert m.solve().objective == pytest.approx(10.0)
+
+    def test_implication_inert_when_binary_clear(self):
+        m = Model(big_m=100)
+        b = m.add_binary_var("b")
+        x = m.add_continuous_var("x", 0, 50)
+        m.add_implication(b, x >= 10)
+        m.add_constr(LinExpr.from_any(b) == 0)
+        m.set_objective(x)
+        assert m.solve().objective == pytest.approx(0.0)
+
+
+class TestSolutionChecking:
+    def test_check_solution_flags_violations(self):
+        m = Model()
+        x = m.add_integer_var("x", 0, 10)
+        c = m.add_constr(x <= 5, "cap")
+        sol = m.solve()
+        assert m.check_solution(sol) == []
+        sol.values[x] = 9.0
+        assert m.check_solution(sol) == ["cap"]
+
+    def test_constraint_violation_amount(self):
+        m = Model()
+        x = m.add_continuous_var("x", 0, 10)
+        c = m.add_constr(x <= 5)
+        sol = m.solve()
+        sol.values[x] = 8.0
+        assert c.violation(sol) == pytest.approx(3.0, abs=1e-5)

@@ -1,0 +1,102 @@
+"""Unit tests for the HiGHS backend."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, SolveStatus, solve
+
+
+class TestBasicSolves:
+    def test_maximize_knapsack_corner(self):
+        m = Model()
+        x = m.add_integer_var("x", 0, 10)
+        y = m.add_integer_var("y", 0, 10)
+        m.add_constr(x + y <= 7)
+        m.set_objective(3 * x + 2 * y, sense="max")
+        sol = m.solve()
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(21.0)
+        assert sol.rounded(x) == 7 and sol.rounded(y) == 0
+
+    def test_minimize_with_equality(self):
+        m = Model()
+        x = m.add_continuous_var("x", 0, 10)
+        y = m.add_continuous_var("y", 0, 10)
+        m.add_constr(x + y == 4)
+        m.set_objective(2 * x + y)
+        sol = m.solve()
+        assert sol.objective == pytest.approx(4.0)
+        assert sol.value(x) == pytest.approx(0.0)
+
+    def test_integrality_enforced(self):
+        m = Model()
+        x = m.add_integer_var("x", 0, 10)
+        m.add_constr(2 * x >= 5)  # LP optimum 2.5
+        m.set_objective(x)
+        sol = m.solve()
+        assert sol.rounded(x) == 3
+
+    def test_objective_constant_included(self):
+        m = Model()
+        x = m.add_continuous_var("x", 0, 5)
+        m.set_objective(x + 10)
+        assert m.solve().objective == pytest.approx(10.0)
+
+    def test_empty_model_solves_trivially(self):
+        m = Model()
+        m.objective = LinExpr({}, 42.0)
+        sol = m.solve()
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(42.0)
+
+    def test_unconstrained_model_uses_bounds(self):
+        m = Model()
+        x = m.add_continuous_var("x", 1, 2)
+        m.set_objective(x, sense="max")
+        assert m.solve().objective == pytest.approx(2.0)
+
+
+class TestStatuses:
+    def test_infeasible_detected(self):
+        m = Model()
+        b = m.add_binary_var("b")
+        m.add_constr(LinExpr.from_any(b) >= 2)
+        sol = m.solve()
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert not sol.status.has_solution
+
+    def test_has_solution_property(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+        assert not SolveStatus.ERROR.has_solution
+
+
+class TestSolutionObject:
+    def test_value_evaluates_expressions(self):
+        m = Model()
+        x = m.add_integer_var("x", 3, 3)
+        y = m.add_integer_var("y", 4, 4)
+        m.set_objective(x + y)
+        sol = m.solve()
+        assert sol.value(2 * x - y + 1) == pytest.approx(3.0)
+        assert sol[x] == pytest.approx(3.0)
+
+    def test_as_name_map(self):
+        m = Model()
+        m.add_integer_var("alpha", 1, 1)
+        sol = m.solve()
+        assert sol.as_name_map() == {"alpha": 1.0}
+
+    def test_integral_values_rounded(self):
+        m = Model()
+        x = m.add_integer_var("x", 0, 9)
+        m.add_constr(3 * x >= 8)
+        m.set_objective(x)
+        sol = m.solve()
+        assert sol.values[x] == 3.0  # exactly, not 2.9999...
+
+    def test_solve_time_recorded(self):
+        m = Model()
+        x = m.add_integer_var("x", 0, 1)
+        m.set_objective(x)
+        assert m.solve().solve_time_s >= 0.0

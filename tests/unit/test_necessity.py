@@ -1,0 +1,159 @@
+"""Unit tests for the Type 1/2/3 wash-necessity analysis (Section II-A)."""
+
+import pytest
+
+from repro.arch import ChipBuilder, DeviceKind
+from repro.contam import (
+    ContaminationTracker,
+    NecessityPolicy,
+    wash_requirements,
+)
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+
+@pytest.fixture
+def chip():
+    b = ChipBuilder("line")
+    b.add_flow_port("in1").add_waste_port("out1")
+    b.add_device("mixer", DeviceKind.MIXER)
+    b.add_junctions("a", "b")
+    b.connect("in1", "a", "mixer", "b", "out1")
+    return b.build()
+
+
+def flow(tid, start, path, fluid, kind=TaskKind.TRANSPORT, edge=None):
+    return ScheduledTask(
+        id=tid, kind=kind, start=start, duration=2, path=tuple(path),
+        fluid_type=fluid, edge=edge,
+    )
+
+
+def analyze(chip, tasks, policy=NecessityPolicy.PDW):
+    tracker = ContaminationTracker(chip, Schedule(tasks))
+    return wash_requirements(tracker, policy=policy)
+
+
+class TestType1:
+    def test_never_reused_node_is_exempt(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+        ])
+        assert report.required == []
+        assert report.type1_exempt == 2  # a and mixer
+
+
+class TestType2:
+    def test_same_fluid_reuse_is_exempt(self, chip):
+        # Distinct lineages (r1 vs r9) but the same fluid type.
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a"), "dye", edge=("r1", "o1")),
+            flow("t2", 5, ("in1", "a"), "dye", edge=("r9", "o2")),
+        ])
+        assert report.required == []
+        assert report.type2_exempt == 1
+
+    def test_different_fluid_reuse_requires_wash(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a"), "dye", edge=("r1", "o1")),
+            flow("t2", 5, ("in1", "a"), "ink", edge=("r2", "o2")),
+        ])
+        assert len(report.required) == 1
+        req = report.required[0]
+        assert req.node == "a"
+        assert req.contaminated_at == 2
+        assert req.deadline == 5
+        assert req.blocking_task == "t2"
+
+
+class TestType3:
+    def test_waste_reuse_is_exempt(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a", "mixer", "b"), "dye", edge=("r1", "o1")),
+            flow("t2", 5, ("mixer", "b", "out1"), "junk",
+                 kind=TaskKind.WASTE, edge=("o9", "waste")),
+        ])
+        # b and mixer exempted by the waste flow; a never reused, and the
+        # waste flow's own residues on b/mixer are never reused either.
+        assert report.required == []
+        assert report.type3_exempt == 2
+        assert report.type1_exempt == 3
+
+    def test_removal_reuse_is_exempt(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a"), "dye", edge=("r1", "o1")),
+            flow("t2", 5, ("in1", "a"), "excess",
+                 kind=TaskKind.REMOVAL, edge=("r2", "o2")),
+        ])
+        assert report.type3_exempt == 1
+
+
+class TestLineage:
+    def test_consuming_operation_is_related(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            ScheduledTask(id="op:o1", kind=TaskKind.OPERATION, start=3, duration=4,
+                          device="mixer", op_id="o1", fluid_type="mix-out"),
+        ])
+        # mixer residue consumed by o1; 'a' never reused
+        assert report.required == []
+        assert report.consumed == 1
+
+    def test_co_input_same_op_is_related(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a", "mixer"), "dye", edge=("r1", "o1")),
+            flow("t2", 3, ("in1", "a", "mixer"), "ink", edge=("r2", "o1")),
+        ])
+        assert all(r.blocking_task != "t2" for r in report.required)
+
+
+class TestPolicies:
+    def tasks(self):
+        # Same fluid type carried by unrelated lineages.
+        return [
+            flow("t1", 0, ("in1", "a"), "dye", edge=("r1", "o1")),
+            flow("t2", 5, ("in1", "a"), "dye", edge=("r9", "o2")),
+        ]
+
+    def test_pdw_exempts_same_fluid(self, chip):
+        report = analyze(chip, self.tasks(), NecessityPolicy.PDW)
+        assert report.required == []
+
+    def test_reuse_conflict_exempts_same_fluid(self, chip):
+        report = analyze(chip, self.tasks(), NecessityPolicy.REUSE_CONFLICT)
+        assert report.required == []
+
+    def test_reuse_only_washes_same_fluid(self, chip):
+        report = analyze(chip, self.tasks(), NecessityPolicy.REUSE_ONLY)
+        assert len(report.required) == 1
+
+    def test_reuse_conflict_does_not_tolerate_removals(self, chip):
+        tasks = [
+            flow("t1", 0, ("in1", "a"), "dye", edge=("r1", "o1")),
+            flow("t2", 5, ("in1", "a"), "excess",
+                 kind=TaskKind.REMOVAL, edge=("r2", "o2")),
+        ]
+        pdw = analyze(chip, tasks, NecessityPolicy.PDW)
+        dawo = analyze(chip, tasks, NecessityPolicy.REUSE_CONFLICT)
+        assert pdw.required == []
+        assert len(dawo.required) == 1
+
+
+class TestReport:
+    def test_summary_mentions_counts(self, chip):
+        report = analyze(chip, [
+            flow("t1", 0, ("in1", "a"), "dye", edge=("r1", "o1")),
+        ])
+        assert "type-1" in report.summary()
+        assert report.total_events == 1
+
+    def test_demo_assay_requirements_cover_violations(
+        self, demo_synthesis, demo_tracker
+    ):
+        from repro.contam import contamination_violations
+
+        report = wash_requirements(demo_tracker, demo_synthesis.assay)
+        required = {(r.node, r.blocking_task) for r in report.required}
+        violations = contamination_violations(
+            demo_synthesis.chip, demo_synthesis.schedule
+        )
+        assert {(v.node, v.task_id) for v in violations} <= required

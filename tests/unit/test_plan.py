@@ -1,0 +1,86 @@
+"""Unit tests for WashPlan edge cases and WashOperation records."""
+
+import pytest
+
+from repro.arch import figure2_chip
+from repro.core.plan import WashOperation, WashPlan
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+
+def op_task(op_id, start, duration=4):
+    return ScheduledTask(
+        id=f"op:{op_id}", kind=TaskKind.OPERATION, start=start,
+        duration=duration, device="mixer", op_id=op_id, fluid_type="f",
+    )
+
+
+@pytest.fixture
+def empty_plan():
+    chip = figure2_chip()
+    baseline = Schedule([op_task("o1", 0)])
+    return WashPlan(
+        method="PDW",
+        chip=chip,
+        schedule=baseline.copy(),
+        washes=[],
+        baseline_schedule=baseline,
+        solver_status="no-wash-needed",
+    )
+
+
+class TestWashOperation:
+    def test_end_derived(self):
+        wash = WashOperation(
+            id="w1", targets=frozenset({"s3"}),
+            path=("in1", "s2", "s3", "s4", "out1"), start=5, duration=3,
+        )
+        assert wash.end == 8
+
+    def test_absorbed_removals_default_empty(self):
+        wash = WashOperation(
+            id="w1", targets=frozenset({"s3"}),
+            path=("in1", "s2", "s3", "s4", "out1"), start=0, duration=1,
+        )
+        assert wash.absorbed_removals == ()
+
+
+class TestEmptyPlan:
+    def test_zero_metrics(self, empty_plan):
+        assert empty_plan.n_wash == 0
+        assert empty_plan.l_wash_mm == 0.0
+        assert empty_plan.total_wash_time == 0
+        assert empty_plan.integrated_removals == 0
+        assert empty_plan.t_delay == 0
+
+    def test_no_wash_tasks(self, empty_plan):
+        assert empty_plan.wash_tasks() == []
+
+    def test_average_waiting_zero(self, empty_plan):
+        assert empty_plan.average_waiting_time == 0.0
+
+    def test_metrics_mapping(self, empty_plan):
+        metrics = empty_plan.metrics()
+        assert metrics["n_wash"] == 0.0
+        assert metrics["t_delay_s"] == 0.0
+
+
+class TestDelayAccounting:
+    def test_waiting_time_averages_over_operations(self):
+        chip = figure2_chip()
+        baseline = Schedule([op_task("o1", 0), op_task("o2", 10)])
+        shifted = Schedule([op_task("o1", 2), op_task("o2", 10)])
+        plan = WashPlan(
+            method="X", chip=chip, schedule=shifted, washes=[],
+            baseline_schedule=baseline,
+        )
+        assert plan.average_waiting_time == pytest.approx(1.0)
+
+    def test_negative_shifts_clamped(self):
+        chip = figure2_chip()
+        baseline = Schedule([op_task("o1", 5)])
+        earlier = Schedule([op_task("o1", 3)])
+        plan = WashPlan(
+            method="X", chip=chip, schedule=earlier, washes=[],
+            baseline_schedule=baseline,
+        )
+        assert plan.average_waiting_time == 0.0

@@ -1,0 +1,45 @@
+"""Unit tests for the report renderers."""
+
+from repro.experiments.reporting import pct, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_cells_right_justified(self):
+        text = render_table(["h"], [["x"]])
+        assert "h" in text.splitlines()[0]
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderSeries:
+    def test_bars_scale_to_peak(self):
+        text = render_series(
+            "T", ["x"], [("A", [10.0]), ("B", [5.0])], unit="s", bar_width=10
+        )
+        bar_a = text.splitlines()[1].split("|")[1]
+        bar_b = text.splitlines()[2].split("|")[1]
+        assert len(bar_a) == 10
+        assert len(bar_b) == 5
+
+    def test_zero_values_have_no_bar(self):
+        text = render_series("T", ["x"], [("A", [0.0])], unit="s")
+        assert text.splitlines()[1].endswith("|")
+
+    def test_title_first_line(self):
+        assert render_series("My Figure", [], [], "s").splitlines()[0] == "My Figure"
+
+
+class TestPct:
+    def test_two_decimals(self):
+        assert pct(33.1) == "33.10"
+        assert pct(0) == "0.00"

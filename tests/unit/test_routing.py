@@ -1,0 +1,112 @@
+"""Unit tests for the router."""
+
+import pytest
+
+from repro.arch import ChipBuilder, DeviceKind, Router, figure2_chip
+from repro.arch.routing import is_simple
+from repro.errors import RoutingError
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return figure2_chip()
+
+
+@pytest.fixture(scope="module")
+def router(chip):
+    return Router(chip)
+
+
+class TestShortestPath:
+    def test_simple_route(self, router):
+        path = router.shortest_path("in1", "s3")
+        assert path[0] == "in1" and path[-1] == "s3"
+        assert is_simple(path)
+
+    def test_route_respects_avoid(self, router):
+        direct = router.shortest_path("s5", "s4")
+        assert "mixer" in direct
+        detour = router.shortest_path("s5", "s4", avoid={"mixer"})
+        assert "mixer" not in detour
+        assert detour == ("s5", "s6", "s16", "s15", "s3", "s4")
+
+    def test_no_route_raises(self, router):
+        with pytest.raises(RoutingError):
+            router.shortest_path("in1", "s4", avoid={"s1", "s2"})
+
+    def test_unknown_node_raises(self, router):
+        with pytest.raises(RoutingError):
+            router.shortest_path("in1", "nowhere")
+
+    def test_ports_never_transited(self, router):
+        # out1 sits between s4 and s5; a route must go around it.
+        path = router.shortest_path("s4", "s5")
+        assert "out1" not in path
+
+    def test_distance_matches_path_length(self, router, chip):
+        path = router.shortest_path("in1", "out4")
+        assert router.distance_mm("in1", "out4") == pytest.approx(
+            chip.path_length_mm(path)
+        )
+
+
+class TestKShortest:
+    def test_returns_increasing_lengths(self, router, chip):
+        paths = router.k_shortest_paths("in1", "out1", k=3)
+        lengths = [chip.path_length_mm(p) for p in paths]
+        assert lengths == sorted(lengths)
+        assert len(paths) == 3
+
+    def test_all_simple(self, router):
+        for path in router.k_shortest_paths("in2", "out4", k=4):
+            assert is_simple(path)
+
+
+class TestPathThrough:
+    def test_covers_all_targets(self, router):
+        targets = ["s12", "s13", "s16"]
+        path = router.path_through("in4", targets, "out4")
+        assert set(targets) <= set(path)
+        assert path[0] == "in4" and path[-1] == "out4"
+
+    def test_reproduces_paper_wash_path_w3(self, router):
+        # Section II-C: washing s16-s12-s13 from in4 to out4 gives
+        # in4 -> s13 -> s12 -> s16 -> s15 -> s11 -> out4.
+        path = router.path_through("in4", ["s16", "s12", "s13"], "out4")
+        assert path == ("in4", "s13", "s12", "s16", "s15", "s11", "out4")
+
+    def test_prefers_simple_paths(self, router):
+        # det1 is a two-ended device; a naive greedy tour doubles back.
+        path = router.path_through("in3", ["det1", "s10", "s11"], "out4")
+        assert is_simple(path)
+
+    def test_empty_targets_is_plain_route(self, router):
+        path = router.path_through("in1", [], "out2")
+        assert path == router.shortest_path("in1", "out2")
+
+    def test_unreachable_target_raises(self, router):
+        with pytest.raises(RoutingError):
+            router.path_through("in1", ["s3"], "out2", avoid={"s2", "s15", "s4"})
+
+
+class TestPortSelection:
+    def test_nearest_ports(self, router):
+        assert router.nearest_flow_port("s13") == "in4"
+        assert router.nearest_waste_port("s8") == "out3"
+
+    def test_port_to_port_candidates_sorted(self, router, chip):
+        cands = router.port_to_port_candidates(["s12", "s13"], max_candidates=4)
+        lengths = [chip.path_length_mm(p) for p in cands]
+        assert lengths == sorted(lengths)
+        assert 1 <= len(cands) <= 4
+        for path in cands:
+            assert path[0] in chip.flow_ports
+            assert path[-1] in chip.waste_ports
+
+    def test_chain_order_detection(self, router):
+        # s12-s13 plus s16 form a chain s13-s12-s16 in the network.
+        order = router._chain_order(["s12", "s13", "s16"])
+        assert order in (["s13", "s12", "s16"], ["s16", "s12", "s13"])
+
+    def test_chain_order_rejects_disconnected(self, router):
+        assert router._chain_order(["s1", "s13"]) is None

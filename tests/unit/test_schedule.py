@@ -1,0 +1,120 @@
+"""Unit tests for the Schedule container and the Gantt renderer."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedule import Schedule, ScheduledTask, TaskKind, render_gantt
+
+
+def make_op(op_id, start, duration=3, device="mixer1"):
+    return ScheduledTask(
+        id=f"op:{op_id}", kind=TaskKind.OPERATION, start=start,
+        duration=duration, device=device, op_id=op_id, fluid_type="f",
+    )
+
+
+def make_flow(tid, start, path, duration=2, kind=TaskKind.TRANSPORT):
+    return ScheduledTask(
+        id=tid, kind=kind, start=start, duration=duration,
+        path=tuple(path), fluid_type="f",
+    )
+
+
+@pytest.fixture
+def schedule():
+    return Schedule([
+        make_flow("tr:1", 0, ("in1", "a", "mixer1")),
+        make_op("o1", 2),
+        make_flow("tr:2", 5, ("mixer1", "b", "out1")),
+    ])
+
+
+class TestContainer:
+    def test_duplicate_ids_rejected(self, schedule):
+        with pytest.raises(SchedulingError):
+            schedule.add(make_op("o1", 2))
+
+    def test_get_unknown_raises(self, schedule):
+        with pytest.raises(SchedulingError):
+            schedule.get("nope")
+
+    def test_replace_retimes(self, schedule):
+        schedule.replace(schedule.get("op:o1").at(10))
+        assert schedule.get("op:o1").start == 10
+
+    def test_replace_unknown_raises(self, schedule):
+        with pytest.raises(SchedulingError):
+            schedule.replace(make_op("oX", 0))
+
+    def test_remove(self, schedule):
+        schedule.remove("tr:2")
+        assert "tr:2" not in schedule
+        with pytest.raises(SchedulingError):
+            schedule.remove("tr:2")
+
+    def test_tasks_sorted_by_start(self, schedule):
+        starts = [t.start for t in schedule.tasks()]
+        assert starts == sorted(starts)
+
+    def test_kind_filter(self, schedule):
+        assert len(schedule.operations()) == 1
+        assert len(schedule.flow_tasks()) == 2
+
+    def test_operation_task_lookup(self, schedule):
+        assert schedule.operation_task("o1").id == "op:o1"
+        with pytest.raises(SchedulingError):
+            schedule.operation_task("oZ")
+
+    def test_makespan(self, schedule):
+        assert schedule.makespan == 7
+        assert Schedule().makespan == 0
+
+    def test_copy_is_independent(self, schedule):
+        clone = schedule.copy()
+        clone.remove("op:o1")
+        assert "op:o1" in schedule
+
+    def test_mapped_applies_function(self, schedule):
+        shifted = schedule.mapped(lambda t: t.shifted(10))
+        assert shifted.get("op:o1").start == 12
+
+
+class TestConflictDetection:
+    def test_clean_schedule_has_no_conflicts(self, schedule):
+        assert schedule.conflicts() == []
+        schedule.validate()
+
+    def test_overlapping_device_use_flagged(self, schedule):
+        schedule.add(make_op("o2", 3))  # overlaps op:o1 on mixer1
+        assert ("op:o1", "op:o2") in schedule.conflicts()
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_shared_path_node_flagged(self, schedule):
+        schedule.add(make_flow("tr:3", 0, ("a", "c")))
+        assert ("tr:1", "tr:3") in schedule.conflicts()
+
+    def test_precedence_validation(self, schedule):
+        schedule.validate(dependencies=[("op:o1", "tr:2")])
+        with pytest.raises(SchedulingError):
+            schedule.validate(dependencies=[("tr:2", "op:o1")])
+
+
+class TestGantt:
+    def test_empty_schedule(self):
+        assert "empty" in render_gantt(Schedule())
+
+    def test_lanes_present(self, schedule):
+        text = render_gantt(schedule)
+        assert "dev mixer1" in text
+        assert "transport" in text
+        assert "makespan = 7 s" in text
+
+    def test_overlapping_tasks_get_sublanes(self, schedule):
+        schedule.add(make_flow("tr:x", 0, ("z1", "z2")))
+        assert "transport+1" in render_gantt(schedule)
+
+    def test_width_clipping(self, schedule):
+        schedule.add(make_flow("tr:far", 500, ("q1", "q2")))
+        text = render_gantt(schedule, width_limit=50)
+        assert "…" in text

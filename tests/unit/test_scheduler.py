@@ -1,0 +1,130 @@
+"""Unit tests for the list scheduler and the synthesis orchestrator."""
+
+import pytest
+
+from repro.assay import Operation, Reagent, SequencingGraph
+from repro.schedule import TaskKind
+from repro.synth import synthesize
+from repro.synth.scheduler import ListScheduler, assign_reagent_ports
+
+
+@pytest.fixture(scope="module")
+def synthesis():
+    g = SequencingGraph("sched-demo")
+    for i, fluid in enumerate(["sample", "enzyme", "dye", "salt"], start=1):
+        g.add_reagent(Reagent(f"r{i}", fluid))
+    g.add_operation(Operation("o1", "mix"), ["r1", "r2"])
+    g.add_operation(Operation("o2", "mix"), ["r3", "r4"])
+    g.add_operation(Operation("o3", "detect"), ["o1"])
+    g.add_operation(Operation("o4", "heat"), ["o2"])
+    g.add_operation(Operation("o5", "mix"), ["o3", "o4"])
+    g.add_operation(Operation("o6", "detect"), ["o5"])
+    return synthesize(g)
+
+
+class TestScheduleStructure:
+    def test_conflict_free(self, synthesis):
+        synthesis.schedule.validate()
+
+    def test_one_operation_task_per_op(self, synthesis):
+        ops = synthesis.schedule.operations()
+        assert {t.op_id for t in ops} == {o.id for o in synthesis.assay.operations}
+
+    def test_transport_per_cross_device_edge(self, synthesis):
+        transports = synthesis.schedule.tasks(TaskKind.TRANSPORT)
+        for t in transports:
+            src, dst = t.edge
+            origin = t.path[0]
+            assert t.path[-1] == synthesis.binding[dst]
+            if synthesis.assay.is_reagent(src):
+                assert origin == synthesis.reagent_ports[src]
+            else:
+                assert origin == synthesis.binding[src]
+
+    def test_each_transport_followed_by_removal(self, synthesis):
+        edges_tr = {t.edge for t in synthesis.schedule.tasks(TaskKind.TRANSPORT)}
+        edges_rm = {t.edge for t in synthesis.schedule.tasks(TaskKind.REMOVAL)}
+        assert edges_tr == edges_rm
+
+    def test_removal_after_its_transport(self, synthesis):
+        by_edge = {}
+        for t in synthesis.schedule.flow_tasks():
+            if t.edge:
+                by_edge.setdefault(t.edge, {})[t.kind] = t
+        for group in by_edge.values():
+            tr, rm = group.get(TaskKind.TRANSPORT), group.get(TaskKind.REMOVAL)
+            if tr and rm:
+                assert rm.start >= tr.end
+
+    def test_op_starts_after_inputs_arrive(self, synthesis):
+        sched = synthesis.schedule
+        for op in synthesis.assay.operations:
+            op_task = sched.operation_task(op.id)
+            for src in synthesis.assay.inputs_of(op.id):
+                rm_id = f"rm:{src}->{op.id}"
+                if rm_id in sched:
+                    assert sched.get(rm_id).end <= op_task.start
+
+    def test_terminal_product_disposed(self, synthesis):
+        waste = synthesis.schedule.tasks(TaskKind.WASTE)
+        assert {t.edge[0] for t in waste} == set(
+            synthesis.assay.terminal_operations()
+        )
+        for t in waste:
+            assert t.path[-1] in synthesis.chip.waste_ports
+
+    def test_transports_avoid_foreign_devices(self, synthesis):
+        for t in synthesis.schedule.tasks(TaskKind.TRANSPORT):
+            interior = set(t.path[1:-1])
+            assert not (interior & set(synthesis.chip.devices)), t.id
+
+    def test_removals_avoid_all_devices(self, synthesis):
+        for t in synthesis.schedule.tasks(TaskKind.REMOVAL):
+            assert not (set(t.path) & set(synthesis.chip.devices)), t.id
+
+    def test_no_eviction_fallbacks(self, synthesis):
+        scheduler = ListScheduler(
+            synthesis.chip, synthesis.assay, synthesis.binding,
+            synthesis.reagent_ports,
+        )
+        scheduler.run()
+        assert scheduler.eviction_fallbacks == 0
+
+    def test_deterministic(self, synthesis):
+        scheduler = ListScheduler(
+            synthesis.chip, synthesis.assay, synthesis.binding,
+            synthesis.reagent_ports,
+        )
+        a = {t.id: (t.start, t.duration) for t in scheduler.run()}
+        b = {t.id: (t.start, t.duration) for t in synthesis.schedule}
+        assert a == b
+
+
+class TestReagentPorts:
+    def test_every_reagent_gets_a_flow_port(self, synthesis):
+        ports = assign_reagent_ports(
+            synthesis.chip, synthesis.assay, synthesis.binding
+        )
+        for reagent in synthesis.assay.reagents:
+            assert ports[reagent.id] in synthesis.chip.flow_ports
+
+
+class TestSynthesisResult:
+    def test_metadata(self, synthesis):
+        assert synthesis.baseline_makespan == synthesis.schedule.makespan
+        assert synthesis.device_count == len(synthesis.chip.devices)
+        assert synthesis.fluid_types == synthesis.assay.fluid_types()
+
+    def test_same_device_handoff_skips_transport(self):
+        g = SequencingGraph("handoff")
+        g.add_reagent(Reagent("r1", "a"))
+        g.add_reagent(Reagent("r2", "b"))
+        g.add_operation(Operation("o1", "mix"), ["r1", "r2"])
+        g.add_operation(Operation("o2", "mix"), ["o1"])
+        from repro.arch.device import DeviceKind
+
+        res = synthesize(g, inventory={DeviceKind.MIXER: 1})
+        assert "tr:o1->o2" not in res.schedule
+        op1 = res.schedule.operation_task("o1")
+        op2 = res.schedule.operation_task("o2")
+        assert op2.start >= op1.end

@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event schedule executor."""
+
+import pytest
+
+from repro.baselines import dawo_plan
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+from repro.sim import ScheduleExecutor, SimEventKind, simulate_plan
+
+
+class TestBaselineExecution:
+    @pytest.fixture(scope="class")
+    def report(self, demo_synthesis):
+        return ScheduleExecutor(demo_synthesis).run()
+
+    def test_every_operation_ran(self, report, demo_synthesis):
+        assert report.count(SimEventKind.OPERATION_RUN) == len(
+            demo_synthesis.assay.operations
+        )
+
+    def test_every_reagent_injected(self, report, demo_synthesis):
+        assert report.count(SimEventKind.INJECTION) == len(
+            [
+                (r.id, c)
+                for r in demo_synthesis.assay.reagents
+                for c in demo_synthesis.assay.consumers_of(r.id)
+            ]
+        )
+
+    def test_no_structural_anomalies(self, report):
+        """The wash-free baseline is structurally sound: only residue
+        anomalies (which washes later fix) may appear."""
+        kinds = {e.kind for e in report.anomalies}
+        assert kinds <= {SimEventKind.CROSS_CONTAMINATION}
+
+    def test_baseline_contaminations_exist(self, report):
+        # The whole paper is motivated by this being non-empty.
+        assert report.count(SimEventKind.CROSS_CONTAMINATION) > 0
+
+    def test_terminal_product_disposed(self, report):
+        assert report.count(SimEventKind.WASTE_DISPOSED) == 1
+
+    def test_summary_lists_counts(self, report):
+        assert "operation_run=" in report.summary()
+
+
+class TestPlanExecution:
+    def test_pdw_plan_has_zero_anomalies(self, demo_pdw_plan, demo_synthesis):
+        report = simulate_plan(demo_pdw_plan, demo_synthesis)
+        assert report.ok, [str(a) for a in report.anomalies]
+
+    def test_dawo_plan_has_zero_anomalies(self, demo_dawo_plan, demo_synthesis):
+        report = simulate_plan(demo_dawo_plan, demo_synthesis)
+        assert report.ok, [str(a) for a in report.anomalies]
+
+    def test_washes_recorded(self, demo_pdw_plan, demo_synthesis):
+        report = simulate_plan(demo_pdw_plan, demo_synthesis)
+        assert report.count(SimEventKind.WASH_RUN) == demo_pdw_plan.n_wash
+
+
+class TestAnomalyDetection:
+    def test_transport_from_empty_device_flagged(self, demo_synthesis):
+        # Move the producing op after its consumer transport: content missing.
+        schedule = demo_synthesis.schedule.copy()
+        op = schedule.get("op:o1")
+        tr = schedule.get("tr:o1->o3")
+        schedule.replace(op.at(tr.end + 20))
+        report = ScheduleExecutor(demo_synthesis, schedule).run()
+        assert report.count(SimEventKind.MISSING_CONTENT) >= 1
+
+    def test_operation_without_inputs_flagged(self, demo_synthesis):
+        schedule = demo_synthesis.schedule.copy()
+        # Drop one input delivery of o1 entirely.
+        schedule.remove("tr:r1->o1")
+        report = ScheduleExecutor(demo_synthesis, schedule).run()
+        assert any(
+            "o1" in e.detail for e in report.events
+            if e.kind is SimEventKind.MISSING_INPUT
+        )
+
+    def test_wrong_port_flagged(self, demo_synthesis):
+        schedule = demo_synthesis.schedule.copy()
+        task = schedule.get("tr:r1->o1")
+        other_port = next(
+            p for p in demo_synthesis.chip.flow_ports
+            if p != demo_synthesis.reagent_ports["r1"]
+        )
+        # Rebuild the injection from a different port.
+        from repro.arch.routing import Router
+
+        router = Router(demo_synthesis.chip)
+        new_path = router.shortest_path(other_port, task.path[-1])
+        schedule.remove(task.id)
+        schedule.add(
+            ScheduledTask(
+                id=task.id, kind=task.kind, start=task.start,
+                duration=task.duration, path=new_path, device=task.device,
+                fluid_type=task.fluid_type, edge=task.edge,
+            )
+        )
+        report = ScheduleExecutor(demo_synthesis, schedule).run()
+        assert report.count(SimEventKind.WRONG_PORT) == 1
+
+    def test_leftover_content_flagged(self, demo_synthesis):
+        schedule = demo_synthesis.schedule.copy()
+        schedule.remove("ws:o6")  # terminal product never disposed
+        report = ScheduleExecutor(demo_synthesis, schedule).run()
+        assert report.count(SimEventKind.LEFTOVER_CONTENT) == 1

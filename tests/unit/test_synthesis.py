@@ -1,0 +1,87 @@
+"""Unit tests for the synthesis orchestrator options."""
+
+import pytest
+
+from repro.arch import DeviceKind, figure2_chip
+from repro.assay import Operation, Reagent, SequencingGraph
+from repro.errors import SynthesisError
+from repro.synth import ArchSpec, synthesize
+
+
+def tiny_assay():
+    g = SequencingGraph("tiny")
+    g.add_reagent(Reagent("r1", "sample"))
+    g.add_reagent(Reagent("r2", "enzyme"))
+    g.add_operation(Operation("o1", "mix"), ["r1", "r2"])
+    g.add_operation(Operation("o2", "detect"), ["o1"])
+    return g
+
+
+class TestSynthesizeOptions:
+    def test_auto_inventory(self):
+        result = synthesize(tiny_assay())
+        assert result.device_count >= 2  # at least a mixer and a detector
+
+    def test_explicit_inventory_respected(self):
+        inv = {DeviceKind.MIXER: 2, DeviceKind.DETECTOR: 1}
+        result = synthesize(tiny_assay(), inventory=inv)
+        assert result.device_count == 3
+
+    def test_arch_spec_ports(self):
+        result = synthesize(
+            tiny_assay(), spec=ArchSpec(flow_ports=2, waste_ports=3)
+        )
+        assert len(result.chip.flow_ports) == 2
+        assert len(result.chip.waste_ports) == 3
+
+    def test_prebuilt_chip_with_binding(self):
+        chip = figure2_chip()
+        binding = {"o1": "mixer", "o2": "det1"}
+        result = synthesize(tiny_assay(), chip=chip, binding=binding)
+        assert result.chip is chip
+        assert result.binding == binding
+        result.schedule.validate()
+
+    def test_prebuilt_chip_auto_binding(self):
+        result = synthesize(tiny_assay(), chip=figure2_chip())
+        assert result.binding["o1"] == "mixer"
+        assert result.binding["o2"] in ("det1", "det2")
+
+    def test_explicit_reagent_ports(self):
+        chip = figure2_chip()
+        ports = {"r1": "in1", "r2": "in2"}
+        result = synthesize(
+            tiny_assay(), chip=chip,
+            binding={"o1": "mixer", "o2": "det1"},
+            reagent_ports=ports,
+        )
+        assert result.reagent_ports == ports
+        tr = result.schedule.get("tr:r1->o1")
+        assert tr.path[0] == "in1"
+
+    def test_invalid_assay_rejected(self):
+        g = SequencingGraph("bad")
+        g.add_reagent(Reagent("r1", "x"))
+        with pytest.raises(Exception):
+            synthesize(g)  # no operations
+
+    def test_incompatible_binding_rejected(self):
+        # o1 is a mix; det1 cannot execute it.
+        with pytest.raises(SynthesisError):
+            synthesize(
+                tiny_assay(),
+                chip=figure2_chip(),
+                binding={"o1": "det1", "o2": "det2"},
+            )
+
+    def test_incomplete_binding_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize(tiny_assay(), chip=figure2_chip(), binding={"o1": "mixer"})
+
+    def test_unknown_device_in_binding_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize(
+                tiny_assay(),
+                chip=figure2_chip(),
+                binding={"o1": "ghost", "o2": "det1"},
+            )

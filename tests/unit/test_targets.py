@@ -1,0 +1,110 @@
+"""Unit tests for wash-target clustering."""
+
+import pytest
+
+from repro.arch import figure2_chip
+from repro.contam.events import WashRequirement
+from repro.core.targets import WashCluster, cluster_requirements, merge_by_blocker
+
+
+def req(node, source="t1", blocker="t9", t_c=2, deadline=10, fluid="dye"):
+    return WashRequirement(
+        node=node, fluid_type=fluid, contaminated_at=t_c, deadline=deadline,
+        source_task=source, blocking_task=blocker,
+    )
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return figure2_chip()
+
+
+class TestWashCluster:
+    def test_aggregate_properties(self):
+        cluster = WashCluster("w1", [
+            req("s3", source="a", blocker="x", t_c=2, deadline=9),
+            req("s4", source="b", blocker="y", t_c=4, deadline=7),
+        ])
+        assert cluster.targets == frozenset({"s3", "s4"})
+        assert cluster.source_tasks == frozenset({"a", "b"})
+        assert cluster.blocking_tasks == frozenset({"x", "y"})
+        assert cluster.release == 4
+        assert cluster.deadline == 7
+
+    def test_window_overlap(self):
+        a = WashCluster("a", [req("s3", t_c=0, deadline=5)])
+        b = WashCluster("b", [req("s4", t_c=4, deadline=9)])
+        c = WashCluster("c", [req("s5", t_c=6, deadline=9)])
+        assert a.window_overlaps(b)
+        assert not a.window_overlaps(c)
+
+    def test_empty_window_requirement_rejected(self):
+        with pytest.raises(ValueError):
+            req("s3", t_c=5, deadline=4)
+
+
+class TestClusterRequirements:
+    def test_grouped_by_source_task(self, chip):
+        reqs = [
+            req("s3", source="t1"), req("s4", source="t1"),
+            req("s13", source="t2", t_c=50, deadline=60),
+        ]
+        clusters = cluster_requirements(chip, reqs, merge=False)
+        assert len(clusters) == 2
+        by_targets = {c.targets for c in clusters}
+        assert frozenset({"s3", "s4"}) in by_targets
+
+    def test_merging_compatible_windows(self, chip):
+        # Adjacent targets with overlapping windows merge into one wash.
+        reqs = [
+            req("s12", source="t1"),
+            req("s13", source="t2"),
+        ]
+        merged = cluster_requirements(chip, reqs, merge=True)
+        unmerged = cluster_requirements(chip, reqs, merge=False)
+        assert len(merged) == 1
+        assert len(unmerged) == 2
+
+    def test_disjoint_windows_not_merged(self, chip):
+        reqs = [
+            req("s12", source="t1", t_c=0, deadline=5),
+            req("s13", source="t2", t_c=20, deadline=30),
+        ]
+        assert len(cluster_requirements(chip, reqs, merge=True)) == 2
+
+    def test_path_cap_blocks_merge(self, chip):
+        reqs = [req("s12", source="t1"), req("s13", source="t2")]
+        capped = cluster_requirements(chip, reqs, merge=True, max_path_mm=1.0)
+        assert len(capped) == 2
+
+    def test_cluster_ids_renumbered(self, chip):
+        reqs = [req(f"s{i}", source=f"t{i}") for i in (3, 4, 5)]
+        clusters = cluster_requirements(chip, reqs, merge=True)
+        assert [c.id for c in clusters] == [f"w{i}" for i in range(1, len(clusters) + 1)]
+
+    def test_no_requirements_no_clusters(self, chip):
+        assert cluster_requirements(chip, []) == []
+
+
+class TestMergeByBlocker:
+    def test_same_blocker_merged(self, chip):
+        clusters = [
+            WashCluster("w1", [req("s12", source="t1", blocker="b1")]),
+            WashCluster("w2", [req("s13", source="t2", blocker="b1")]),
+            WashCluster("w3", [req("s3", source="t3", blocker="b2")]),
+        ]
+        out = merge_by_blocker(
+            chip, clusters, {"w1": "b1", "w2": "b1", "w3": "b2"}
+        )
+        assert len(out) == 2
+        assert frozenset({"s12", "s13"}) in {c.targets for c in out}
+
+    def test_uncoverable_union_not_merged(self, chip):
+        clusters = [
+            WashCluster("w1", [req("s12", blocker="b1")]),
+            WashCluster("w2", [req("s13", blocker="b1")]),
+        ]
+        out = merge_by_blocker(
+            chip, clusters, {"w1": "b1", "w2": "b1"}, max_path_mm=0.1
+        )
+        assert len(out) == 2

@@ -1,0 +1,90 @@
+"""Unit tests for scheduled-task records."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedule import ScheduledTask, TaskKind
+
+
+def op(start=0, duration=5, device="mixer1", op_id="o1"):
+    return ScheduledTask(
+        id=f"op:{op_id}", kind=TaskKind.OPERATION, start=start,
+        duration=duration, device=device, op_id=op_id, fluid_type="f",
+    )
+
+
+def flow(start=0, duration=2, path=("in1", "a", "mixer1"), kind=TaskKind.TRANSPORT):
+    return ScheduledTask(
+        id=f"{kind.value}:{start}", kind=kind, start=start, duration=duration,
+        path=tuple(path), fluid_type="f", edge=("r1", "o1"),
+    )
+
+
+class TestValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            op(start=-1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            flow(duration=-2)
+
+    def test_operation_cannot_carry_path(self):
+        with pytest.raises(SchedulingError):
+            ScheduledTask(
+                id="x", kind=TaskKind.OPERATION, start=0, duration=1,
+                path=("a", "b"), device="d", op_id="o",
+            )
+
+    def test_operation_needs_device_and_op(self):
+        with pytest.raises(SchedulingError):
+            ScheduledTask(id="x", kind=TaskKind.OPERATION, start=0, duration=1)
+
+    def test_flow_needs_path(self):
+        with pytest.raises(SchedulingError):
+            ScheduledTask(id="x", kind=TaskKind.TRANSPORT, start=0, duration=1)
+
+
+class TestSemantics:
+    def test_end_exclusive(self):
+        assert op(start=3, duration=4).end == 7
+
+    def test_occupied_nodes(self):
+        assert op().occupied_nodes == ("mixer1",)
+        assert flow().occupied_nodes == ("in1", "a", "mixer1")
+
+    def test_kind_is_flow(self):
+        assert TaskKind.WASH.is_flow
+        assert TaskKind.REMOVAL.is_flow
+        assert not TaskKind.OPERATION.is_flow
+
+    def test_shift_and_retime(self):
+        t = op(start=5)
+        assert t.shifted(3).start == 8
+        assert t.at(0).start == 0
+        assert t.at(0).id == t.id
+
+
+class TestConflicts:
+    def test_time_overlap(self):
+        assert flow(start=0, duration=3).overlaps_time(flow(start=2, duration=3))
+        assert not flow(start=0, duration=2).overlaps_time(flow(start=2, duration=2))
+
+    def test_back_to_back_tasks_do_not_conflict(self):
+        a, b = flow(start=0, duration=2), flow(start=2, duration=2)
+        assert not a.conflicts_with(b)
+
+    def test_shared_node_overlap_conflicts(self):
+        a = flow(start=0, duration=3, path=("in1", "a", "b"))
+        b = flow(start=1, duration=3, path=("b", "c", "out1"))
+        assert a.conflicts_with(b)
+
+    def test_disjoint_paths_never_conflict(self):
+        a = flow(start=0, duration=3, path=("in1", "a"))
+        b = flow(start=0, duration=3, path=("c", "out1"))
+        assert not a.conflicts_with(b)
+
+    def test_operation_vs_flow_through_device(self):
+        o = op(start=0, duration=5, device="mixer1")
+        t = flow(start=2, duration=2, path=("in1", "a", "mixer1"))
+        assert o.conflicts_with(t)

@@ -1,0 +1,98 @@
+"""Unit tests for the occupancy timeline."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedule import Timeline, intervals_overlap
+
+
+class TestIntervalOverlap:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ((0, 5), (5, 9), False),   # touching half-open intervals
+            ((0, 5), (4, 9), True),
+            ((4, 9), (0, 5), True),
+            ((0, 1), (2, 3), False),
+            ((0, 10), (3, 4), True),   # containment
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        assert intervals_overlap(a, b) is expected
+
+
+class TestOccupy:
+    def test_zero_duration_ignored(self):
+        tl = Timeline()
+        tl.occupy(["n"], 5, 0)
+        assert tl.busy_intervals("n") == []
+
+    def test_negative_rejected(self):
+        tl = Timeline()
+        with pytest.raises(SchedulingError):
+            tl.occupy(["n"], -1, 2)
+
+    def test_intervals_kept_sorted(self):
+        tl = Timeline()
+        tl.occupy(["n"], 10, 2)
+        tl.occupy(["n"], 0, 2)
+        tl.occupy(["n"], 5, 2)
+        assert tl.busy_intervals("n") == [(0, 2), (5, 7), (10, 12)]
+
+
+class TestIsFree:
+    def test_free_before_and_after(self):
+        tl = Timeline()
+        tl.occupy(["n"], 5, 5)
+        assert tl.is_free(["n"], 0, 5)
+        assert tl.is_free(["n"], 10, 3)
+        assert not tl.is_free(["n"], 4, 2)
+        assert not tl.is_free(["n"], 7, 1)
+
+    def test_multiple_nodes_all_must_be_free(self):
+        tl = Timeline()
+        tl.occupy(["a"], 0, 4)
+        assert not tl.is_free(["a", "b"], 2, 2)
+        assert tl.is_free(["b"], 2, 2)
+
+
+class TestEarliestFit:
+    def test_fits_in_gap(self):
+        tl = Timeline()
+        tl.occupy(["n"], 0, 3)
+        tl.occupy(["n"], 6, 3)
+        assert tl.earliest_fit(["n"], 0, 3) == 3
+
+    def test_skips_too_small_gap(self):
+        tl = Timeline()
+        tl.occupy(["n"], 0, 3)
+        tl.occupy(["n"], 5, 3)
+        assert tl.earliest_fit(["n"], 0, 3) == 8
+
+    def test_respects_ready_time(self):
+        tl = Timeline()
+        assert tl.earliest_fit(["n"], 7, 2) == 7
+
+    def test_multi_node_paths(self):
+        tl = Timeline()
+        tl.occupy(["a"], 0, 4)
+        tl.occupy(["b"], 6, 4)
+        assert tl.earliest_fit(["a", "b"], 0, 2) == 4
+
+    def test_deadline_returns_none(self):
+        tl = Timeline()
+        tl.occupy(["n"], 0, 10)
+        assert tl.earliest_fit(["n"], 0, 2, deadline=10) is None
+        assert tl.earliest_fit(["n"], 0, 2, deadline=12) == 10
+
+    def test_zero_duration_always_fits(self):
+        tl = Timeline()
+        tl.occupy(["n"], 0, 10)
+        assert tl.earliest_fit(["n"], 3, 0) == 3
+
+    def test_horizon(self):
+        tl = Timeline()
+        assert tl.horizon() == 0
+        tl.occupy(["a"], 2, 5)
+        tl.occupy(["b"], 1, 3)
+        assert tl.horizon() == 7

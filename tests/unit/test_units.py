@@ -1,0 +1,54 @@
+"""Unit tests for physical parameters (Eq. 17 wash-time model)."""
+
+import pytest
+
+from repro.units import DEFAULT_PARAMETERS, PhysicalParameters
+
+
+class TestValidation:
+    def test_rejects_nonpositive_velocity(self):
+        with pytest.raises(ValueError):
+            PhysicalParameters(flow_velocity_mm_s=0)
+
+    def test_rejects_nonpositive_pitch(self):
+        with pytest.raises(ValueError):
+            PhysicalParameters(cell_pitch_mm=-1)
+
+    def test_rejects_negative_dissolution(self):
+        with pytest.raises(ValueError):
+            PhysicalParameters(dissolution_time_s=-0.5)
+
+
+class TestGeometry:
+    def test_path_length(self):
+        p = PhysicalParameters(cell_pitch_mm=2.0)
+        assert p.path_length_mm(5) == pytest.approx(10.0)
+
+    def test_path_length_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMETERS.path_length_mm(-1)
+
+
+class TestTimes:
+    def test_transport_time_rounds_up(self):
+        p = PhysicalParameters(flow_velocity_mm_s=10.0, cell_pitch_mm=3.0)
+        assert p.transport_time_s(7) == 3  # 21mm / 10mm/s = 2.1 -> 3
+
+    def test_transport_time_minimum_one_tick(self):
+        p = PhysicalParameters(flow_velocity_mm_s=10.0, cell_pitch_mm=1.5)
+        assert p.transport_time_s(0) == 1
+        assert p.transport_time_s(1) == 1
+
+    def test_wash_time_adds_dissolution(self):
+        p = PhysicalParameters(
+            flow_velocity_mm_s=10.0, cell_pitch_mm=5.0, dissolution_time_s=2.0
+        )
+        # Eq. 17: L/v + t_d = 20/10 + 2 = 4
+        assert p.wash_time_s(4) == 4
+
+    def test_wash_time_at_least_flush(self):
+        p = PhysicalParameters(dissolution_time_s=0.0)
+        assert p.wash_time_s(0) == 1
+
+    def test_paper_defaults(self):
+        assert DEFAULT_PARAMETERS.flow_velocity_mm_s == 10.0

@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII chip renderer."""
+
+import networkx as nx
+import pytest
+
+from repro.arch import figure2_chip
+from repro.arch.chip import Chip, NodeKind
+from repro.arch.device import Device, DeviceKind
+from repro.viz import render_chip
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return figure2_chip()
+
+
+class TestRenderChip:
+    def test_contains_port_glyphs(self, chip):
+        art = render_chip(chip)
+        assert "I" in art and "O" in art
+
+    def test_device_glyphs_present(self, chip):
+        art = render_chip(chip)
+        for glyph in ("M", "H", "D", "F"):
+            assert glyph in art
+
+    def test_legend_present(self, chip):
+        assert "I=flow port" in render_chip(chip)
+
+    def test_highlight_marks_path(self, chip):
+        art = render_chip(chip, highlight=["s3", "s4"])
+        assert "*" in art
+        assert "*=highlighted" in art
+
+    def test_chip_without_positions_is_placeholder(self):
+        g = nx.Graph()
+        g.add_node("in1", kind=NodeKind.FLOW_PORT)
+        g.add_node("m", kind=NodeKind.DEVICE)
+        g.add_node("out1", kind=NodeKind.WASTE_PORT)
+        g.add_edge("in1", "m", length_mm=1.5)
+        g.add_edge("m", "out1", length_mm=1.5)
+        chip = Chip("bare", g, {"m": Device("m", DeviceKind.MIXER)}, ["in1"], ["out1"])
+        assert "no layout coordinates" in render_chip(chip)
+
+    def test_synthesized_chip_renders(self, demo_synthesis):
+        art = render_chip(demo_synthesis.chip)
+        assert "M" in art  # mixers placed
