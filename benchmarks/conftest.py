@@ -17,6 +17,24 @@ from repro.core import PDWConfig
 BENCH_CONFIG = PDWConfig(time_limit_s=120.0)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Redirect the on-disk artifact cache to a per-session tmp dir.
+
+    Benches must measure real solver work; a warm cache left over from a
+    previous run (or the user's interactive sessions) would skew timings.
+    """
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("bench-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> PDWConfig:
     return BENCH_CONFIG

@@ -31,10 +31,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.chip import FlowPath
 from repro.arch.routing import Router
-from repro.contam import ContaminationTracker, NecessityPolicy, wash_requirements
+from repro.contam import ContaminationTracker, NecessityPolicy
+from repro.core.config import PDWConfig
 from repro.core.plan import WashOperation, WashPlan
+from repro.core.stages import NECESSITY_STAGE, REPLAY_STAGE, PDWContext
 from repro.core.targets import WashCluster, cluster_requirements, merge_by_blocker
 from repro.errors import RoutingError, WashError
+from repro.pipeline import ArtifactCache, PipelineRun, StageBase
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import ScheduledTask, TaskKind
 from repro.schedule.timeline import Timeline
@@ -197,31 +200,97 @@ class SweepLineReplayer:
         placed.add(cluster.id)
 
 
-class DelayAwareWashOptimizer:
-    """DAWO: demand-driven washes with BFS paths and sweep-line timing."""
+class DawoClusterStage(StageBase):
+    """DAWO's demand-driven grouping: one cluster per first blocking task."""
 
-    def __init__(self, synthesis: SynthesisResult):
-        self.synthesis = synthesis
+    name = "clusters"
+    version = "1"
 
-    def run(self) -> WashPlan:
-        """Build the DAWO wash plan."""
-        tracker = ContaminationTracker(self.synthesis.chip, self.synthesis.schedule)
-        report = wash_requirements(
-            tracker, self.synthesis.assay, NecessityPolicy.REUSE_CONFLICT
-        )
+    def key(self, ctx: PDWContext):
+        return (ctx.synthesis_digest, "dawo", ctx.config.necessity.value)
+
+    def compute(self, ctx: PDWContext) -> List[WashCluster]:
+        baseline = ctx.synthesis.schedule
         clusters = cluster_requirements(
-            self.synthesis.chip, report.required, merge=False
+            ctx.synthesis.chip, ctx.necessity.required, merge=False
         )
-        baseline = self.synthesis.schedule
         first_blocker = {
             c.id: min(c.blocking_tasks, key=lambda b: baseline.get(b).start)
             for c in clusters
         }
-        clusters = merge_by_blocker(self.synthesis.chip, clusters, first_blocker)
-        replayer = SweepLineReplayer(self.synthesis, clusters, eager=False)
-        plan = replayer.run(method="DAWO")
-        plan.notes["necessity_events"] = float(report.total_events)
-        plan.notes["requirements"] = float(len(report.required))
+        return merge_by_blocker(ctx.synthesis.chip, clusters, first_blocker)
+
+    def counters(self, clusters: List[WashCluster]) -> Dict[str, float]:
+        return {
+            "clusters": float(len(clusters)),
+            "targets": float(sum(len(c.targets) for c in clusters)),
+        }
+
+
+class SweepLineStage(StageBase):
+    """BFS wash paths + sweep-line placement, assembling the DAWO plan."""
+
+    name = "sweepline"
+    version = "1"
+
+    def key(self, ctx: PDWContext):
+        return (ctx.synthesis_digest, "dawo", ctx.config.necessity.value)
+
+    def compute(self, ctx: PDWContext) -> WashPlan:
+        replayer = SweepLineReplayer(ctx.synthesis, ctx.clusters, eager=False)
+        return replayer.run(method="DAWO")
+
+    def counters(self, plan: WashPlan) -> Dict[str, float]:
+        return {
+            "washes": float(plan.n_wash),
+            "t_assay_s": float(plan.t_assay),
+        }
+
+
+DAWO_CLUSTER_STAGE = DawoClusterStage()
+SWEEPLINE_STAGE = SweepLineStage()
+
+#: Config carrier for the DAWO pipeline: only the necessity policy matters.
+_DAWO_CONFIG = PDWConfig(necessity=NecessityPolicy.REUSE_CONFLICT)
+
+
+class DelayAwareWashOptimizer:
+    """DAWO: demand-driven washes with BFS paths and sweep-line timing.
+
+    Rebased onto the same staged pipeline as PDW: the contamination
+    *replay* artifact is keyed identically to PDW's, so the two methods
+    share it (in-process via ``tracker=``, across processes via ``cache``)
+    instead of each re-replaying the baseline schedule.
+    """
+
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        cache: Optional[ArtifactCache] = None,
+        tracker: Optional[ContaminationTracker] = None,
+    ):
+        self.synthesis = synthesis
+        self.cache = cache
+        self.tracker = tracker
+
+    def run(self) -> WashPlan:
+        """Build the DAWO wash plan."""
+        ctx = PDWContext(synthesis=self.synthesis, config=_DAWO_CONFIG)
+        run = PipelineRun(label=f"DAWO:{self.synthesis.assay.name}", cache=self.cache)
+
+        if self.tracker is not None:
+            ctx.tracker = self.tracker
+            run.provided(REPLAY_STAGE.name, REPLAY_STAGE.counters(self.tracker))
+        else:
+            ctx.tracker = run.run_stage(REPLAY_STAGE, ctx)
+        ctx.necessity = run.run_stage(NECESSITY_STAGE, ctx)
+        ctx.clusters = run.run_stage(DAWO_CLUSTER_STAGE, ctx)
+        plan = run.run_stage(SWEEPLINE_STAGE, ctx)
+
+        plan.notes["necessity_events"] = float(ctx.necessity.total_events)
+        plan.notes["requirements"] = float(len(ctx.necessity.required))
+        plan.report = run.report
+        plan.notes.update(run.report.flat())
         return plan
 
 
@@ -259,9 +328,14 @@ def _precedence_map(schedule: Schedule) -> Dict[str, List[str]]:
     return preds
 
 
-def dawo_plan(synthesis: SynthesisResult, verify: bool = True) -> WashPlan:
+def dawo_plan(
+    synthesis: SynthesisResult,
+    verify: bool = True,
+    cache: Optional[ArtifactCache] = None,
+    tracker: Optional[ContaminationTracker] = None,
+) -> WashPlan:
     """Convenience wrapper: run DAWO on a synthesis result."""
-    plan = DelayAwareWashOptimizer(synthesis).run()
+    plan = DelayAwareWashOptimizer(synthesis, cache=cache, tracker=tracker).run()
     if verify:
         from repro.core.pdw import verify_plan
 

@@ -11,17 +11,28 @@ merging.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.contam import ContaminationTracker, NecessityPolicy, wash_requirements
 from repro.core.plan import WashPlan
 from repro.core.targets import cluster_requirements
 from repro.synth.synthesis import SynthesisResult
 
 
-def immediate_wash_plan(synthesis: SynthesisResult, verify: bool = True) -> WashPlan:
-    """Eager-wash plan: necessary washes executed as early as possible."""
+def immediate_wash_plan(
+    synthesis: SynthesisResult,
+    verify: bool = True,
+    tracker: Optional[ContaminationTracker] = None,
+) -> WashPlan:
+    """Eager-wash plan: necessary washes executed as early as possible.
+
+    ``tracker`` optionally shares a pre-computed contamination replay of
+    the same synthesis (see :mod:`repro.pipeline`).
+    """
     from repro.baselines.dawo import SweepLineReplayer
 
-    tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
+    if tracker is None:
+        tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
     report = wash_requirements(tracker, synthesis.assay, NecessityPolicy.PDW)
     clusters = cluster_requirements(synthesis.chip, report.required, merge=False)
 

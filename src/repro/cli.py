@@ -3,12 +3,14 @@
 Subcommands::
 
     pdw run <benchmark> [--method pdw|dawo|immediate] [--gantt] [--chip]
+            [--stats] [--no-cache]
     pdw list
-    pdw report {table2,fig4,fig5,ablation,all}
+    pdw report {table2,fig4,fig5,ablation,necessity,pareto,timings,all}
     pdw assay <file.json> [--method ...]     # optimize a user assay
     pdw cost <benchmark>                     # chip cost + plan comparison
     pdw simulate <benchmark> [--method ...]  # discrete-event execution log
     pdw export <benchmark> --what plan|actuation|svg [--out FILE]
+    pdw cache {info,clear}                   # on-disk artifact cache
 """
 
 from __future__ import annotations
@@ -22,18 +24,19 @@ from repro.baselines import dawo_plan, immediate_wash_plan
 from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
 from repro.experiments.__main__ import main as experiments_main
+from repro.pipeline import default_cache, default_cache_dir
 from repro.schedule import render_gantt
 from repro.synth import synthesize
 from repro.viz import render_chip
 
 _METHODS = {
-    "pdw": lambda synth, cfg: optimize_washes(synth, cfg),
-    "dawo": lambda synth, cfg: dawo_plan(synth),
-    "immediate": lambda synth, cfg: immediate_wash_plan(synth),
+    "pdw": lambda synth, cfg, cache: optimize_washes(synth, cfg, cache=cache),
+    "dawo": lambda synth, cfg, cache: dawo_plan(synth, cache=cache),
+    "immediate": lambda synth, cfg, cache: immediate_wash_plan(synth),
 }
 
 
-def _print_plan(plan, show_gantt: bool, show_chip: bool) -> None:
+def _print_plan(plan, show_gantt: bool, show_chip: bool, show_stats: bool = False) -> None:
     print(f"method:      {plan.method} ({plan.solver_status})")
     for key, value in plan.metrics().items():
         print(f"{key + ':':<13}{value:g}")
@@ -42,6 +45,9 @@ def _print_plan(plan, show_gantt: bool, show_chip: bool) -> None:
             f"  {wash.id}: [{wash.start}, {wash.end}) s  "
             f"path {' -> '.join(wash.path)}"
         )
+    if show_stats and plan.report is not None:
+        print()
+        print(plan.report.render())
     if show_chip:
         print()
         print(render_chip(plan.chip))
@@ -62,6 +68,12 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--time-limit", type=float, default=120.0)
     p_run.add_argument("--gantt", action="store_true", help="print the schedule chart")
     p_run.add_argument("--chip", action="store_true", help="print the chip layout")
+    p_run.add_argument(
+        "--stats", action="store_true", help="print per-stage pipeline timings"
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk artifact cache"
+    )
 
     p_assay = sub.add_parser("assay", help="optimize an assay from a JSON file")
     p_assay.add_argument("file", type=Path)
@@ -69,13 +81,21 @@ def main(argv: list[str] | None = None) -> int:
     p_assay.add_argument("--time-limit", type=float, default=120.0)
     p_assay.add_argument("--gantt", action="store_true")
     p_assay.add_argument("--chip", action="store_true")
+    p_assay.add_argument("--stats", action="store_true")
+    p_assay.add_argument("--no-cache", action="store_true")
 
     p_report = sub.add_parser("report", help="regenerate the paper's tables/figures")
     p_report.add_argument(
         "name",
-        choices=("table2", "fig4", "fig5", "ablation", "necessity", "pareto", "all"),
+        choices=(
+            "table2", "fig4", "fig5", "ablation", "necessity", "pareto",
+            "timings", "all",
+        ),
     )
     p_report.add_argument("--time-limit", type=float, default=120.0)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    p_cache.add_argument("action", choices=("info", "clear"))
 
     p_cost = sub.add_parser("cost", help="chip cost report + plan comparison")
     p_cost.add_argument("benchmark", choices=list(BENCHMARKS))
@@ -107,6 +127,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         return experiments_main([args.name, "--time-limit", str(args.time_limit)])
 
+    if args.command == "cache":
+        return _run_cache(args.action)
+
     config = PDWConfig(time_limit_s=args.time_limit)
 
     if args.command == "cost":
@@ -128,8 +151,25 @@ def main(argv: list[str] | None = None) -> int:
 
             assay = parse_assay(text)
         synth = synthesize(assay)
-    plan = _METHODS[args.method](synth, config)
-    _print_plan(plan, args.gantt, args.chip)
+    cache = None if args.no_cache else default_cache()
+    plan = _METHODS[args.method](synth, config, cache)
+    _print_plan(plan, args.gantt, args.chip, args.stats)
+    return 0
+
+
+def _run_cache(action: str) -> int:
+    cache = default_cache()
+    if cache is None:
+        print("artifact cache disabled (REPRO_CACHE=off)")
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifacts from {cache.root}")
+        return 0
+    count, total = cache.stats()
+    print(f"cache dir:   {default_cache_dir()}")
+    print(f"artifacts:   {count}")
+    print(f"total bytes: {total}")
     return 0
 
 
@@ -138,8 +178,9 @@ def _run_cost(bench_name: str, config: PDWConfig) -> int:
 
     spec = benchmark(bench_name)
     synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
-    pdw = _METHODS["pdw"](synth, config)
-    dawo = _METHODS["dawo"](synth, config)
+    cache = default_cache()
+    pdw = _METHODS["pdw"](synth, config, cache)
+    dawo = _METHODS["dawo"](synth, config, cache)
 
     print(f"chip cost of {bench_name} (baseline schedule):")
     for key, value in chip_cost(synth.chip, synth.schedule).as_dict().items():
@@ -160,7 +201,7 @@ def _run_export(
 
     spec = benchmark(bench_name)
     synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
-    plan = _METHODS[method](synth, config)
+    plan = _METHODS[method](synth, config, default_cache())
     if what == "plan":
         text = plan_to_json(plan)
     elif what == "actuation":
@@ -180,7 +221,7 @@ def _run_simulate(bench_name: str, method: str, config: PDWConfig, events: bool)
 
     spec = benchmark(bench_name)
     synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
-    plan = _METHODS[method](synth, config)
+    plan = _METHODS[method](synth, config, default_cache())
     report = simulate_plan(plan, synth)
     print(f"{plan.method} plan on {bench_name}: {report.summary()}")
     print("execution " + ("OK" if report.ok else "BROKEN"))

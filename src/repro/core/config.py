@@ -45,6 +45,14 @@ class PDWConfig:
     enable_integration:
         Whether excess removals may be folded into washes (ψ, Eq. 21;
         ablation of contribution 2).
+    integration_window_s:
+        Slack (seconds) around a wash cluster's baseline [release,
+        deadline] window when collecting nearby excess removals as
+        integration candidates: a removal overlapping the widened window
+        may contribute its path to the cluster's candidate pool.  The ILP
+        still enforces the exact ψ timing of Eq. (21); this knob only
+        bounds which removals are *considered*, trading candidate-pool
+        size against integration opportunities found.
     """
 
     alpha: float = 0.3
@@ -58,6 +66,7 @@ class PDWConfig:
     path_mode: str = "greedy"
     necessity: NecessityPolicy = NecessityPolicy.PDW
     enable_integration: bool = True
+    integration_window_s: float = 10.0
 
     def __post_init__(self) -> None:
         if min(self.alpha, self.beta, self.gamma) < 0:
@@ -70,6 +79,8 @@ class PDWConfig:
             raise WashError("need at least one candidate path per wash")
         if self.path_mode not in ("greedy", "exact"):
             raise WashError(f"unknown path mode {self.path_mode!r}")
+        if self.integration_window_s < 0:
+            raise WashError("integration window must be non-negative")
 
 
 #: The exact parameterization used in the paper's experiments.

@@ -18,7 +18,7 @@ gap between the two quantifies what the fixed-order decomposition gives up
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.arch.chip import Chip, FlowPath
 from repro.core.config import PDWConfig
@@ -112,9 +112,10 @@ def objective_lower_bound(
     baseline: Schedule,
     clusters: Sequence[WashCluster],
     candidates: Dict[str, List[FlowPath]],
-    config: PDWConfig = PDWConfig(),
+    config: Optional[PDWConfig] = None,
 ) -> BoundComparison:
     """Solve both models and report the decomposition gap."""
+    config = config if config is not None else PDWConfig()
     decomposed = WashScheduleIlp(chip, baseline, list(clusters), candidates, config)
     relaxed = MonolithicWashIlp(chip, baseline, list(clusters), candidates, config)
     return BoundComparison(

@@ -1,154 +1,116 @@
 """The PathDriver-Wash orchestrator.
 
-Pipeline (Section III, decomposed as described in DESIGN.md):
+Pipeline (Section III, decomposed as described in DESIGN.md §7):
 
-1. replay the wash-free baseline schedule and collect contamination events
-   (:mod:`repro.contam.tracker`),
-2. wash-necessity analysis — Type 1/2/3 exemptions (Eqs. 9-11),
-3. group the remaining requirements into wash clusters
+1. **replay** — replay the wash-free baseline schedule and collect
+   contamination events (:mod:`repro.contam.tracker`),
+2. **necessity** — wash-necessity analysis, Type 1/2/3 exemptions
+   (Eqs. 9-11),
+3. **clusters** — group the remaining requirements into wash clusters
    (:mod:`repro.core.targets`),
-4. generate candidate port-to-port wash paths per cluster
+4. **pathgen** — generate candidate port-to-port wash paths per cluster
    (:mod:`repro.core.pathgen`; optionally refined by the exact path ILP of
    Eqs. 12-15),
-5. solve the scheduling ILP (Eqs. 1-8, 16-26) selecting wash paths and time
-   windows and folding excess removals into washes (ψ, Eq. 21),
-6. assemble and verify the final wash-aware schedule.
+5. **ilp** — solve the scheduling ILP (Eqs. 1-8, 16-26) selecting wash
+   paths and time windows and folding excess removals into washes
+   (ψ, Eq. 21),
+6. **assemble** — materialize and verify the final wash-aware schedule.
+
+The stages themselves live in :mod:`repro.core.stages`; this module
+composes them through a :class:`~repro.pipeline.PipelineRun`, which
+optionally serves stage artifacts from a content-addressed
+:class:`~repro.pipeline.ArtifactCache` and always records per-stage wall
+times, counters and solver statistics into the plan's
+:class:`~repro.pipeline.RunReport` (``plan.report`` /
+``plan.notes["stage.*"]``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Optional
 
-from repro.contam import (
-    ContaminationTracker,
-    contamination_violations,
-    wash_requirements,
-)
+from repro.contam import ContaminationTracker, contamination_violations
 from repro.core.config import PDWConfig
-from repro.core.pathgen import candidate_paths, integration_candidates
-from repro.core.path_ilp import exact_wash_path
-from repro.core.plan import WashOperation, WashPlan
-from repro.core.schedule_ilp import WashScheduleIlp
-from repro.core.targets import cluster_requirements
+from repro.core.plan import WashPlan
+from repro.core.stages import (
+    ASSEMBLE_STAGE,
+    CLUSTER_STAGE,
+    NECESSITY_STAGE,
+    PATHGEN_STAGE,
+    REPLAY_STAGE,
+    SCHEDULE_ILP_STAGE,
+    PDWContext,
+)
 from repro.errors import WashError
-from repro.schedule.schedule import Schedule
-from repro.schedule.tasks import ScheduledTask, TaskKind
+from repro.pipeline import ArtifactCache, PipelineRun
 from repro.synth.synthesis import SynthesisResult
 
 
 class PathDriverWash:
-    """PDW wash optimization over a synthesis result."""
+    """PDW wash optimization over a synthesis result.
 
-    def __init__(self, synthesis: SynthesisResult, config: PDWConfig = PDWConfig()):
+    Parameters
+    ----------
+    synthesis:
+        The synthesized assay execution (chip + wash-free schedule).
+    config:
+        PDW knobs; a fresh :class:`PDWConfig` per instance when omitted.
+    cache:
+        Optional content-addressed artifact cache; stage artifacts are
+        served from (and written to) it, surviving across processes.
+    tracker:
+        Optional pre-computed contamination replay of the same synthesis —
+        pass it to share the replay artifact with another pipeline (e.g.
+        DAWO on the same benchmark) instead of recomputing it.
+    """
+
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        config: Optional[PDWConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        tracker: Optional[ContaminationTracker] = None,
+    ):
         self.synthesis = synthesis
-        self.config = config
+        self.config = config if config is not None else PDWConfig()
+        self.cache = cache
+        self.tracker = tracker
 
     # -- pipeline ------------------------------------------------------------------
 
     def run(self, verify: bool = True) -> WashPlan:
         """Execute the full PDW pipeline and return the wash plan."""
-        chip = self.synthesis.chip
-        baseline = self.synthesis.schedule
+        ctx = PDWContext(synthesis=self.synthesis, config=self.config)
+        run = PipelineRun(label=f"PDW:{self.synthesis.assay.name}", cache=self.cache)
 
-        tracker = ContaminationTracker(chip, baseline)
-        report = wash_requirements(tracker, self.synthesis.assay, self.config.necessity)
-        if not report.required:
+        if self.tracker is not None:
+            ctx.tracker = self.tracker
+            run.provided(REPLAY_STAGE.name, REPLAY_STAGE.counters(self.tracker))
+        else:
+            ctx.tracker = run.run_stage(REPLAY_STAGE, ctx)
+        ctx.necessity = run.run_stage(NECESSITY_STAGE, ctx)
+
+        if not ctx.necessity.required:
             plan = WashPlan(
                 method="PDW",
-                chip=chip,
-                schedule=baseline.copy(),
+                chip=self.synthesis.chip,
+                schedule=self.synthesis.schedule.copy(),
                 washes=[],
-                baseline_schedule=baseline,
+                baseline_schedule=self.synthesis.schedule,
                 solver_status="no-wash-needed",
-                notes={"necessity_events": float(report.total_events)},
+                notes={"necessity_events": float(ctx.necessity.total_events)},
             )
-            return plan
+            return self._finish(plan, run, verify=False)
 
-        clusters = cluster_requirements(
-            chip,
-            report.required,
-            merge=self.config.merge_clusters,
-            max_path_mm=self.config.max_wash_path_mm,
-        )
-        removals = baseline.tasks(TaskKind.REMOVAL)
-        candidates: Dict[str, List] = {}
-        for cluster in clusters:
-            pool = candidate_paths(
-                chip, sorted(cluster.targets), self.config.max_candidates
-            )
-            if self.config.enable_integration:
-                nearby = [
-                    rm.path
-                    for rm in removals
-                    if rm.start <= cluster.deadline + 10
-                    and rm.end >= cluster.release - 10
-                ]
-                for cand in integration_candidates(chip, sorted(cluster.targets), nearby):
-                    if cand not in pool:
-                        pool.append(cand)
-            if self.config.path_mode == "exact":
-                try:
-                    exact = exact_wash_path(chip, sorted(cluster.targets))
-                    if exact not in pool:
-                        pool.insert(0, exact)
-                except WashError:
-                    pass  # fall back to the greedy pool
-            candidates[cluster.id] = pool
+        ctx.clusters = run.run_stage(CLUSTER_STAGE, ctx)
+        ctx.candidates = run.run_stage(PATHGEN_STAGE, ctx)
+        ctx.outcome = run.run_stage(SCHEDULE_ILP_STAGE, ctx)
+        plan = run.run_stage(ASSEMBLE_STAGE, ctx)
+        return self._finish(plan, run, verify=verify)
 
-        ilp = WashScheduleIlp(chip, baseline, clusters, candidates, self.config)
-        outcome = ilp.solve()
-
-        schedule = Schedule()
-        absorbed_by: Dict[str, List[str]] = {}
-        for rm_id, cluster_id in outcome.absorbed.items():
-            absorbed_by.setdefault(cluster_id, []).append(rm_id)
-        for task in baseline.tasks():
-            if task.id in outcome.absorbed:
-                continue
-            schedule.add(task.at(outcome.starts[task.id]))
-
-        washes: List[WashOperation] = []
-        for cluster in clusters:
-            path = outcome.wash_paths[cluster.id]
-            start = outcome.wash_starts[cluster.id]
-            duration = outcome.wash_durations[cluster.id]
-            schedule.add(
-                ScheduledTask(
-                    id=f"wash:{cluster.id}",
-                    kind=TaskKind.WASH,
-                    start=start,
-                    duration=duration,
-                    path=path,
-                )
-            )
-            washes.append(
-                WashOperation(
-                    id=cluster.id,
-                    targets=cluster.targets,
-                    path=path,
-                    start=start,
-                    duration=duration,
-                    absorbed_removals=tuple(sorted(absorbed_by.get(cluster.id, []))),
-                )
-            )
-
-        plan = WashPlan(
-            method="PDW",
-            chip=chip,
-            schedule=schedule,
-            washes=washes,
-            baseline_schedule=baseline,
-            solver_status=outcome.status.value,
-            solve_time_s=outcome.solve_time_s,
-            notes={
-                "ilp_objective": outcome.objective,
-                "necessity_events": float(report.total_events),
-                "type1_exempt": float(report.type1_exempt),
-                "type2_exempt": float(report.type2_exempt),
-                "type3_exempt": float(report.type3_exempt),
-                "requirements": float(len(report.required)),
-            },
-        )
+    def _finish(self, plan: WashPlan, run: PipelineRun, verify: bool) -> WashPlan:
+        plan.report = run.report
+        plan.notes.update(run.report.flat())
         if verify:
             verify_plan(plan)
         return plan
@@ -169,8 +131,12 @@ def verify_plan(plan: WashPlan) -> None:
 
 def optimize_washes(
     synthesis: SynthesisResult,
-    config: PDWConfig = PDWConfig(),
+    config: Optional[PDWConfig] = None,
     verify: bool = True,
+    cache: Optional[ArtifactCache] = None,
+    tracker: Optional[ContaminationTracker] = None,
 ) -> WashPlan:
     """Convenience wrapper: run PDW on a synthesis result."""
-    return PathDriverWash(synthesis, config).run(verify=verify)
+    return PathDriverWash(synthesis, config, cache=cache, tracker=tracker).run(
+        verify=verify
+    )

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.arch.chip import Chip, FlowPath
+from repro.pipeline.report import RunReport
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import TaskKind
 
@@ -45,6 +46,8 @@ class WashPlan:
     solver_status: str = "n/a"
     solve_time_s: float = 0.0
     notes: Dict[str, float] = field(default_factory=dict)
+    #: Per-stage instrumentation of the pipeline that built this plan.
+    report: Optional[RunReport] = None
 
     # -- Table II metrics ---------------------------------------------------------
 

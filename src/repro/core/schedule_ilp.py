@@ -47,6 +47,10 @@ class IlpWashOutcome:
     wash_durations: Dict[str, int]
     absorbed: Dict[str, str] = field(default_factory=dict)  # removal id -> cluster id
     model_stats: str = ""
+    mip_gap: Optional[float] = None
+    n_variables: int = 0
+    n_binaries: int = 0
+    n_constraints: int = 0
 
 
 class WashScheduleIlp:
@@ -58,13 +62,13 @@ class WashScheduleIlp:
         baseline: Schedule,
         clusters: Sequence[WashCluster],
         candidates: Dict[str, List[FlowPath]],
-        config: PDWConfig = PDWConfig(),
+        config: Optional[PDWConfig] = None,
     ):
         self.chip = chip
         self.baseline = baseline
         self.clusters = list(clusters)
         self.candidates = candidates
-        self.config = config
+        self.config = config if config is not None else PDWConfig()
         for cluster in self.clusters:
             if not candidates.get(cluster.id):
                 raise WashError(f"cluster {cluster.id!r} has no candidate paths")
@@ -440,4 +444,8 @@ class WashScheduleIlp:
             wash_durations=wash_durs,
             absorbed=absorbed,
             model_stats=self.model.stats(),
+            mip_gap=solution.mip_gap,
+            n_variables=len(self.model.variables),
+            n_binaries=self.model.num_binaries,
+            n_constraints=len(self.model.constraints),
         )

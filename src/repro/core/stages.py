@@ -1,0 +1,323 @@
+"""The PDW flow of Section III as explicit pipeline stages.
+
+Each stage consumes the :class:`PDWContext`, produces one immutable,
+picklable artifact, and declares a cache key covering exactly the inputs
+the artifact depends on (synthesis digest + the relevant
+:class:`PDWConfig` fields + the stage's code version).  The stages, in
+order:
+
+========== ============================================= =================
+stage      artifact                                      depends on
+========== ============================================= =================
+replay     :class:`ContaminationTracker`                 synthesis
+necessity  :class:`NecessityReport`                      + necessity policy
+clusters   ``List[WashCluster]``                         + merge knobs
+pathgen    ``Dict[cluster id, List[FlowPath]]``          + candidate knobs
+ilp        :class:`IlpWashOutcome`                       + full config
+assemble   :class:`WashPlan`                             (never cached)
+========== ============================================= =================
+
+The ``replay`` stage is shared verbatim with the DAWO baseline
+(:mod:`repro.baselines.dawo`): both methods key it on the synthesis digest
+alone, so whichever runs first populates the artifact the other reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.contam import ContaminationTracker, wash_requirements
+from repro.contam.necessity import NecessityReport
+from repro.core.config import PDWConfig
+from repro.core.path_ilp import exact_wash_path
+from repro.core.pathgen import candidate_paths, integration_candidates
+from repro.core.plan import WashOperation, WashPlan
+from repro.core.schedule_ilp import IlpWashOutcome, WashScheduleIlp
+from repro.core.targets import WashCluster, cluster_requirements
+from repro.errors import WashError
+from repro.pipeline import StageBase, digest_synthesis
+from repro.schedule.schedule import Schedule
+from repro.schedule.tasks import ScheduledTask, TaskKind
+from repro.synth.synthesis import SynthesisResult
+
+
+@dataclass
+class PDWContext:
+    """Mutable carrier threading artifacts between PDW stages."""
+
+    synthesis: SynthesisResult
+    config: PDWConfig
+    tracker: Optional[ContaminationTracker] = None
+    necessity: Optional[NecessityReport] = None
+    clusters: List[WashCluster] = field(default_factory=list)
+    candidates: Dict[str, List] = field(default_factory=dict)
+    outcome: Optional[IlpWashOutcome] = None
+    _synthesis_digest: Optional[str] = None
+
+    @property
+    def synthesis_digest(self) -> str:
+        """Stable digest of the synthesis inputs (computed once)."""
+        if self._synthesis_digest is None:
+            self._synthesis_digest = digest_synthesis(self.synthesis)
+        return self._synthesis_digest
+
+
+# ---------------------------------------------------------------------------
+# stage implementations
+# ---------------------------------------------------------------------------
+
+class ReplayStage(StageBase):
+    """Replay the wash-free baseline and index contamination events."""
+
+    name = "replay"
+    version = "1"
+
+    def key(self, ctx: PDWContext):
+        # Keyed on the synthesis alone so PDW and DAWO share the artifact.
+        return ctx.synthesis_digest
+
+    def compute(self, ctx: PDWContext) -> ContaminationTracker:
+        return ContaminationTracker(ctx.synthesis.chip, ctx.synthesis.schedule)
+
+    def counters(self, tracker: ContaminationTracker) -> Dict[str, float]:
+        return {
+            "events": float(len(tracker.events())),
+            "contaminated_nodes": float(len(tracker.contaminated_nodes())),
+        }
+
+
+class NecessityStage(StageBase):
+    """Type 1/2/3 wash-necessity analysis (Eqs. 9-11)."""
+
+    name = "necessity"
+    version = "1"
+
+    def key(self, ctx: PDWContext):
+        return (ctx.synthesis_digest, ctx.config.necessity.value)
+
+    def compute(self, ctx: PDWContext) -> NecessityReport:
+        return wash_requirements(
+            ctx.tracker, ctx.synthesis.assay, ctx.config.necessity
+        )
+
+    def counters(self, report: NecessityReport) -> Dict[str, float]:
+        return {
+            "events": float(report.total_events),
+            "required": float(len(report.required)),
+            "type1_exempt": float(report.type1_exempt),
+            "type2_exempt": float(report.type2_exempt),
+            "type3_exempt": float(report.type3_exempt),
+            "consumed": float(report.consumed),
+        }
+
+
+class ClusterStage(StageBase):
+    """Group the required washes into wash clusters (Section II-C)."""
+
+    name = "clusters"
+    version = "1"
+
+    def key(self, ctx: PDWContext):
+        cfg = ctx.config
+        return (
+            ctx.synthesis_digest,
+            cfg.necessity.value,
+            cfg.merge_clusters,
+            cfg.max_wash_path_mm,
+        )
+
+    def compute(self, ctx: PDWContext) -> List[WashCluster]:
+        return cluster_requirements(
+            ctx.synthesis.chip,
+            ctx.necessity.required,
+            merge=ctx.config.merge_clusters,
+            max_path_mm=ctx.config.max_wash_path_mm,
+        )
+
+    def counters(self, clusters: List[WashCluster]) -> Dict[str, float]:
+        return {
+            "clusters": float(len(clusters)),
+            "targets": float(sum(len(c.targets) for c in clusters)),
+        }
+
+
+class PathGenStage(StageBase):
+    """Candidate wash paths per cluster (Section II-C, optionally exact)."""
+
+    name = "pathgen"
+    version = "1"
+
+    def key(self, ctx: PDWContext):
+        cfg = ctx.config
+        return (
+            ctx.synthesis_digest,
+            cfg.necessity.value,
+            cfg.merge_clusters,
+            cfg.max_wash_path_mm,
+            cfg.max_candidates,
+            cfg.path_mode,
+            cfg.enable_integration,
+            cfg.integration_window_s,
+        )
+
+    def compute(self, ctx: PDWContext) -> Dict[str, List]:
+        chip = ctx.synthesis.chip
+        config = ctx.config
+        removals = ctx.synthesis.schedule.tasks(TaskKind.REMOVAL)
+        window = config.integration_window_s
+        candidates: Dict[str, List] = {}
+        for cluster in ctx.clusters:
+            pool = candidate_paths(
+                chip, sorted(cluster.targets), config.max_candidates
+            )
+            seen: Set[Tuple[str, ...]] = {tuple(p) for p in pool}
+            if config.enable_integration:
+                nearby = [
+                    rm.path
+                    for rm in removals
+                    if rm.start <= cluster.deadline + window
+                    and rm.end >= cluster.release - window
+                ]
+                for cand in integration_candidates(
+                    chip, sorted(cluster.targets), nearby
+                ):
+                    if tuple(cand) not in seen:
+                        pool.append(cand)
+                        seen.add(tuple(cand))
+            if config.path_mode == "exact":
+                try:
+                    exact = exact_wash_path(chip, sorted(cluster.targets))
+                    if tuple(exact) not in seen:
+                        pool.insert(0, exact)
+                        seen.add(tuple(exact))
+                except WashError:
+                    pass  # fall back to the greedy pool
+            candidates[cluster.id] = pool
+        return candidates
+
+    def counters(self, candidates: Dict[str, List]) -> Dict[str, float]:
+        pools = list(candidates.values())
+        return {
+            "pools": float(len(pools)),
+            "candidates": float(sum(len(p) for p in pools)),
+        }
+
+
+class ScheduleIlpStage(StageBase):
+    """Build and solve the scheduling ILP (Eqs. 1-8, 16-26)."""
+
+    name = "ilp"
+    version = "1"
+
+    def key(self, ctx: PDWContext):
+        # The outcome depends on every config field (weights, limits, ...).
+        return (ctx.synthesis_digest, ctx.config)
+
+    def compute(self, ctx: PDWContext) -> IlpWashOutcome:
+        ilp = WashScheduleIlp(
+            ctx.synthesis.chip,
+            ctx.synthesis.schedule,
+            ctx.clusters,
+            ctx.candidates,
+            ctx.config,
+        )
+        return ilp.solve()
+
+    def counters(self, outcome: IlpWashOutcome) -> Dict[str, float]:
+        stats = {
+            "solve_time_s": round(outcome.solve_time_s, 6),
+            "objective": round(outcome.objective, 6),
+            "variables": float(outcome.n_variables),
+            "binaries": float(outcome.n_binaries),
+            "constraints": float(outcome.n_constraints),
+            "absorbed": float(len(outcome.absorbed)),
+        }
+        if outcome.mip_gap is not None:
+            stats["mip_gap"] = outcome.mip_gap
+        return stats
+
+    def detail(self, outcome: IlpWashOutcome) -> str:
+        return f"{outcome.status.value}; {outcome.model_stats}"
+
+
+class AssembleStage(StageBase):
+    """Materialize the wash-aware schedule and plan from the ILP outcome.
+
+    Cheap and final — never cached (``key`` stays ``None``), so the
+    returned plan is always freshly built and safe to mutate.
+    """
+
+    name = "assemble"
+    version = "1"
+
+    def compute(self, ctx: PDWContext) -> WashPlan:
+        outcome = ctx.outcome
+        baseline = ctx.synthesis.schedule
+        schedule = Schedule()
+        absorbed_by: Dict[str, List[str]] = {}
+        for rm_id, cluster_id in outcome.absorbed.items():
+            absorbed_by.setdefault(cluster_id, []).append(rm_id)
+        for task in baseline.tasks():
+            if task.id in outcome.absorbed:
+                continue
+            schedule.add(task.at(outcome.starts[task.id]))
+
+        washes: List[WashOperation] = []
+        for cluster in ctx.clusters:
+            path = outcome.wash_paths[cluster.id]
+            start = outcome.wash_starts[cluster.id]
+            duration = outcome.wash_durations[cluster.id]
+            schedule.add(
+                ScheduledTask(
+                    id=f"wash:{cluster.id}",
+                    kind=TaskKind.WASH,
+                    start=start,
+                    duration=duration,
+                    path=path,
+                )
+            )
+            washes.append(
+                WashOperation(
+                    id=cluster.id,
+                    targets=cluster.targets,
+                    path=path,
+                    start=start,
+                    duration=duration,
+                    absorbed_removals=tuple(sorted(absorbed_by.get(cluster.id, []))),
+                )
+            )
+
+        report = ctx.necessity
+        return WashPlan(
+            method="PDW",
+            chip=ctx.synthesis.chip,
+            schedule=schedule,
+            washes=washes,
+            baseline_schedule=baseline,
+            solver_status=outcome.status.value,
+            solve_time_s=outcome.solve_time_s,
+            notes={
+                "ilp_objective": outcome.objective,
+                "necessity_events": float(report.total_events),
+                "type1_exempt": float(report.type1_exempt),
+                "type2_exempt": float(report.type2_exempt),
+                "type3_exempt": float(report.type3_exempt),
+                "requirements": float(len(report.required)),
+            },
+        )
+
+    def counters(self, plan: WashPlan) -> Dict[str, float]:
+        return {
+            "washes": float(plan.n_wash),
+            "integrated_removals": float(plan.integrated_removals),
+        }
+
+
+#: Shared singletons — the stages are stateless.
+REPLAY_STAGE = ReplayStage()
+NECESSITY_STAGE = NecessityStage()
+CLUSTER_STAGE = ClusterStage()
+PATHGEN_STAGE = PathGenStage()
+SCHEDULE_ILP_STAGE = ScheduleIlpStage()
+ASSEMBLE_STAGE = AssembleStage()

@@ -24,6 +24,7 @@ from repro.experiments.fig5 import fig5_report
 from repro.experiments.ablation import ablation_report
 from repro.experiments.necessity_stats import necessity_report
 from repro.experiments.pareto import pareto_report
+from repro.experiments.timings import timings_report
 
 __all__ = [
     "BenchmarkRun",
@@ -35,4 +36,5 @@ __all__ = [
     "run_benchmark",
     "run_suite",
     "table2_report",
+    "timings_report",
 ]

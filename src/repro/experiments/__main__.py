@@ -12,8 +12,11 @@ from repro.experiments.fig5 import fig5_report
 from repro.experiments.necessity_stats import necessity_report
 from repro.experiments.pareto import pareto_report
 from repro.experiments.table2 import table2_report
+from repro.experiments.timings import timings_report
 
-REPORTS = ("table2", "fig4", "fig5", "ablation", "necessity", "pareto", "all")
+REPORTS = (
+    "table2", "fig4", "fig5", "ablation", "necessity", "pareto", "timings", "all",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,6 +46,8 @@ def main(argv: list[str] | None = None) -> int:
         print(ablation_report(args.benchmarks))
     if args.report in ("necessity", "all"):
         print(necessity_report(args.benchmarks))
+    if args.report in ("timings", "all"):
+        print(timings_report(args.benchmarks, config))
     if args.report == "pareto":
         print(pareto_report(args.benchmarks[0] if args.benchmarks else "PCR", config))
     return 0

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import immediate_wash_plan
 from repro.bench import benchmark, load_benchmark
-from repro.contam import NecessityPolicy
+from repro.contam import ContaminationTracker, NecessityPolicy
 from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
 from repro.experiments.reporting import render_table
@@ -75,13 +75,16 @@ def run_ablation(
         return _CACHE[key]
     spec = benchmark(bench_name)
     synthesis = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+    # One contamination replay shared across every variant (the replay
+    # depends only on the synthesis, not on the variant's config).
+    tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
     plans: Dict[str, WashPlan] = {}
     for variant in VARIANTS:
         if variant.name == "eager":
-            plans[variant.name] = immediate_wash_plan(synthesis)
+            plans[variant.name] = immediate_wash_plan(synthesis, tracker=tracker)
         else:
             plans[variant.name] = optimize_washes(
-                synthesis, _variant_config(variant.name, cfg)
+                synthesis, _variant_config(variant.name, cfg), tracker=tracker
             )
     if use_cache:
         _CACHE[key] = plans

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bench import benchmark, load_benchmark
+from repro.contam import ContaminationTracker
 from repro.core import PDWConfig, optimize_washes
 from repro.experiments.reporting import render_table
 from repro.synth import synthesize
@@ -47,10 +48,13 @@ def pareto_points(
     cfg = base or PDWConfig(time_limit_s=60.0)
     spec = benchmark(bench_name)
     synthesis = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+    tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
     points = []
     for label, alpha, beta, gamma in sweep:
         plan = optimize_washes(
-            synthesis, replace(cfg, alpha=alpha, beta=beta, gamma=gamma)
+            synthesis,
+            replace(cfg, alpha=alpha, beta=beta, gamma=gamma),
+            tracker=tracker,
         )
         points.append(
             ParetoPoint(

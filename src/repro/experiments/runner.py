@@ -1,17 +1,55 @@
-"""Run benchmarks through synthesis, DAWO and PDW, with in-process caching."""
+"""Run benchmarks through synthesis, DAWO and PDW, with artifact caching.
+
+Two cache levels:
+
+* an in-process memo keyed by ``(benchmark, config)`` preserving object
+  identity within a process (``run_benchmark`` twice returns the *same*
+  :class:`BenchmarkRun`), and
+* the content-addressed on-disk :class:`~repro.pipeline.ArtifactCache`
+  (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pdw``), which stores
+  both the whole :class:`BenchmarkRun` and every intermediate stage
+  artifact, and therefore survives across processes — a warm
+  :func:`run_suite` skips synthesis, replay, necessity, path generation
+  and the ILP entirely.
+
+Within one cold run the two methods share upstream work: the baseline is
+synthesized once and the contamination replay is computed once, then handed
+to both DAWO and PDW (their plans record the stage as ``shared``).
+
+:func:`run_suite` can fan benchmarks out across workers with
+:mod:`concurrent.futures` (``workers=`` / ``$REPRO_SUITE_WORKERS``;
+threads by default, ``executor="process"`` for CPU-bound parallelism on
+multi-core machines).
+"""
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.assay.io import graph_to_dict
 from repro.baselines import dawo_plan
 from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
+from repro.core.stages import REPLAY_STAGE, PDWContext
+from repro.pipeline import (
+    ArtifactCache,
+    PipelineRun,
+    RunReport,
+    default_cache,
+    stable_digest,
+)
 from repro.synth import synthesize
 from repro.synth.synthesis import SynthesisResult
+
+#: Code version of the whole-run artifact; bump when run_benchmark's
+#: composition (not just one stage) changes.
+RUNNER_VERSION = "1"
 
 
 @dataclass
@@ -23,6 +61,11 @@ class BenchmarkRun:
     dawo: WashPlan
     pdw: WashPlan
     wall_time_s: float
+    #: Whether this run was served from the on-disk artifact cache.
+    from_cache: bool = False
+    #: Per-stage instrumentation (synthesis, replay, and both methods'
+    #: pipelines namespaced as ``dawo.*`` / ``pdw.*``).
+    report: Optional[RunReport] = None
 
     def improvement(self, metric: str) -> float:
         """PDW improvement over DAWO in percent (paper's :math:`I_m`)."""
@@ -38,48 +81,147 @@ class BenchmarkRun:
 
 
 _CACHE: Dict[tuple, BenchmarkRun] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def _run_digest(name: str, config: PDWConfig) -> str:
+    """Content digest of a whole benchmark run.
+
+    Includes the assay graph and device inventory (so editing a benchmark
+    definition invalidates its cached runs), the full config, and the
+    runner code version.
+    """
+    spec = benchmark(name)
+    assay = spec.build()
+    inventory = {kind.value: count for kind, count in spec.inventory.items()}
+    return stable_digest(
+        "benchmark-run", RUNNER_VERSION, name, graph_to_dict(assay), inventory, config
+    )
 
 
 def run_benchmark(
     name: str,
     config: Optional[PDWConfig] = None,
     use_cache: bool = True,
+    cache: Optional[ArtifactCache] = None,
 ) -> BenchmarkRun:
-    """Synthesize a benchmark and run DAWO + PDW on it."""
+    """Synthesize a benchmark and run DAWO + PDW on it.
+
+    ``cache`` overrides the default on-disk artifact cache; pass
+    ``use_cache=False`` to bypass (and not populate) both cache levels.
+    """
     cfg = config or PDWConfig(time_limit_s=120.0)
     key = (name, cfg)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache:
+        with _CACHE_LOCK:
+            hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
 
+    disk = (cache if cache is not None else default_cache()) if use_cache else None
     started = time.perf_counter()
+    digest = _run_digest(name, cfg) if disk is not None else None
+
+    if disk is not None:
+        stored = disk.get(digest)
+        if isinstance(stored, BenchmarkRun):
+            stored.from_cache = True
+            with _CACHE_LOCK:
+                run = _CACHE.setdefault(key, stored)
+            return run
+
+    pipeline = PipelineRun(label=f"bench:{name}", cache=disk)
     spec = benchmark(name)
     assay = load_benchmark(name)
-    synthesis = synthesize(assay, inventory=spec.inventory)
-    dawo = dawo_plan(synthesis)
-    pdw = optimize_washes(synthesis, cfg)
+    synthesis = pipeline.timed(
+        "synthesis",
+        lambda: synthesize(assay, inventory=spec.inventory),
+        counters=lambda s: {
+            "operations": float(assay.operation_count),
+            "devices": float(s.device_count),
+            "baseline_makespan_s": float(s.baseline_makespan),
+        },
+    )
+    ctx = PDWContext(synthesis=synthesis, config=cfg)
+    tracker = pipeline.run_stage(REPLAY_STAGE, ctx)
+    dawo = dawo_plan(synthesis, cache=disk, tracker=tracker)
+    pdw = optimize_washes(synthesis, cfg, cache=disk, tracker=tracker)
+    pipeline.report.extend(dawo.report, prefix="dawo.")
+    pipeline.report.extend(pdw.report, prefix="pdw.")
+
     run = BenchmarkRun(
         name=name,
         synthesis=synthesis,
         dawo=dawo,
         pdw=pdw,
         wall_time_s=time.perf_counter() - started,
+        report=pipeline.report,
     )
+    if disk is not None:
+        disk.put(digest, run)
     if use_cache:
-        _CACHE[key] = run
+        with _CACHE_LOCK:
+            run = _CACHE.setdefault(key, run)
     return run
+
+
+# -- suite execution ---------------------------------------------------------------
+
+def _worker_count(names: Sequence[str], workers: Optional[int]) -> int:
+    if workers is not None:
+        return max(1, workers)
+    env = os.environ.get("REPRO_SUITE_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(len(names), os.cpu_count() or 1))
+
+
+def _run_benchmark_task(args: tuple) -> BenchmarkRun:
+    """Top-level worker (picklable for process pools)."""
+    name, config, use_cache = args
+    return run_benchmark(name, config, use_cache)
 
 
 def run_suite(
     names: Optional[Sequence[str]] = None,
     config: Optional[PDWConfig] = None,
     use_cache: bool = True,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> List[BenchmarkRun]:
-    """Run a list of benchmarks (default: the full Table II suite)."""
-    return [
-        run_benchmark(name, config, use_cache) for name in (names or list(BENCHMARKS))
-    ]
+    """Run a list of benchmarks (default: the full Table II suite).
+
+    ``workers`` (default: ``$REPRO_SUITE_WORKERS`` or one per CPU, capped
+    at the suite size) fans the benchmarks out with
+    :mod:`concurrent.futures`; results keep suite order.  ``executor`` is
+    ``"thread"`` (shares the in-process memo; best when the disk cache is
+    warm or the solver dominates) or ``"process"`` (true CPU parallelism;
+    each worker re-imports the library and shares work through the on-disk
+    artifact cache only).
+    """
+    suite = list(names or BENCHMARKS)
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    n_workers = _worker_count(suite, workers)
+    if n_workers <= 1 or len(suite) <= 1:
+        return [run_benchmark(name, config, use_cache) for name in suite]
+
+    tasks = [(name, config, use_cache) for name in suite]
+    if executor == "process":
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            runs = list(pool.map(_run_benchmark_task, tasks))
+        if use_cache:
+            # Adopt the workers' results into this process's memo so later
+            # same-process calls return identical objects.
+            with _CACHE_LOCK:
+                for run in runs:
+                    _CACHE.setdefault((run.name, config or PDWConfig(time_limit_s=120.0)), run)
+        return runs
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_run_benchmark_task, tasks))
 
 
 def clear_cache() -> None:
-    """Drop all cached runs (used by tests)."""
-    _CACHE.clear()
+    """Drop all in-process cached runs (used by tests)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()

@@ -1,0 +1,87 @@
+"""Per-stage pipeline timings and solver statistics across the suite.
+
+Surfaces the :class:`~repro.pipeline.RunReport` instrumentation of every
+benchmark: wall time per stage (synthesis, replay, necessity, clusters,
+pathgen, ILP, assembly / sweep-line), which artifacts came from the cache,
+and the PDW solver statistics (model size, solve time, MIP gap).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core import PDWConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import BenchmarkRun, run_suite
+
+#: Stage columns of the timing table, in pipeline order.
+STAGE_COLUMNS = (
+    ("synthesis", "synth"),
+    ("replay", "replay"),
+    ("pdw.necessity", "necess"),
+    ("pdw.clusters", "clust"),
+    ("pdw.pathgen", "pathgen"),
+    ("pdw.ilp", "ilp"),
+    ("pdw.assemble", "asm"),
+    ("dawo.sweepline", "dawo-sweep"),
+)
+
+
+def _cell(run: BenchmarkRun, stage: str) -> str:
+    rec = run.report.get(stage) if run.report else None
+    if rec is None:
+        return "-"
+    mark = "*" if rec.cached else ""
+    return f"{rec.wall_s:.3f}{mark}"
+
+
+def timings_rows(runs: Sequence[BenchmarkRun]) -> List[List[str]]:
+    """One row per benchmark: stage wall times (``*`` = cache hit)."""
+    rows: List[List[str]] = []
+    for run in runs:
+        cells = [run.name, f"{run.wall_time_s:.2f}", "yes" if run.from_cache else "-"]
+        cells.extend(_cell(run, stage) for stage, _ in STAGE_COLUMNS)
+        rows.append(cells)
+    return rows
+
+
+def solver_rows(runs: Sequence[BenchmarkRun]) -> List[List[str]]:
+    """One row per benchmark: PDW scheduling-ILP statistics."""
+    rows: List[List[str]] = []
+    for run in runs:
+        rec = run.report.get("pdw.ilp") if run.report else None
+        if rec is None:
+            rows.append([run.name, run.pdw.solver_status, "-", "-", "-", "-", "-"])
+            continue
+        c = rec.counters
+        gap = c.get("mip_gap")
+        rows.append(
+            [
+                run.name,
+                run.pdw.solver_status,
+                f"{c.get('variables', 0):.0f}",
+                f"{c.get('binaries', 0):.0f}",
+                f"{c.get('constraints', 0):.0f}",
+                f"{c.get('solve_time_s', 0):.3f}",
+                f"{gap:.2e}" if gap is not None else "-",
+            ]
+        )
+    return rows
+
+
+def timings_report(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PDWConfig] = None,
+) -> str:
+    """Render per-stage timings + solver statistics for the suite."""
+    runs = run_suite(names, config)
+
+    stage_headers = ["Benchmark", "wall(s)", "cached"]
+    stage_headers.extend(label for _, label in STAGE_COLUMNS)
+    text = "Pipeline stage timings (s; * = served from artifact cache)\n"
+    text += render_table(stage_headers, timings_rows(runs))
+
+    solver_headers = ["Benchmark", "status", "vars", "bin", "constrs", "solve(s)", "gap"]
+    text += "\nPDW scheduling-ILP solver statistics\n"
+    text += render_table(solver_headers, solver_rows(runs))
+    return text

@@ -10,7 +10,7 @@ from repro.core.plan import WashPlan
 
 def plan_to_dict(plan: WashPlan) -> Dict[str, Any]:
     """Serialize a wash plan (schedule + washes + metrics) to plain data."""
-    return {
+    out = {
         "method": plan.method,
         "chip": plan.chip.name,
         "solver_status": plan.solver_status,
@@ -42,6 +42,9 @@ def plan_to_dict(plan: WashPlan) -> Dict[str, Any]:
             for wash in plan.washes
         ],
     }
+    if plan.report is not None:
+        out["pipeline"] = plan.report.as_dict()
+    return out
 
 
 def plan_to_json(plan: WashPlan, indent: int = 2) -> str:

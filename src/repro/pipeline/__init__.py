@@ -1,0 +1,46 @@
+"""Staged pipeline infrastructure: stages, artifact cache, instrumentation.
+
+The PDW flow of Section III is a staged pipeline — baseline replay →
+necessity analysis → clustering → candidate path generation → scheduling
+ILP → plan assembly — and the DAWO baseline shares its upstream stages.
+This package makes those boundaries explicit:
+
+* :class:`Stage` / :class:`StageBase` — one pipeline step producing an
+  immutable, picklable artifact, with a declared cache key and code
+  version,
+* :class:`ArtifactCache` — a content-addressed on-disk store keyed by a
+  stable SHA-256 digest of (assay, chip, config, stage code version) that
+  survives across processes,
+* :class:`PipelineRun` — executes stages cache-first and records a
+  :class:`RunReport` of per-stage wall times, counters and solver
+  statistics.
+
+See DESIGN.md §7 ("Pipeline architecture") for the full walkthrough.
+"""
+
+from repro.pipeline.cache import (
+    ArtifactCache,
+    cache_enabled,
+    default_cache,
+    default_cache_dir,
+    digest_config,
+    digest_synthesis,
+    stable_digest,
+)
+from repro.pipeline.report import RunReport, StageRecord
+from repro.pipeline.stage import PipelineRun, Stage, StageBase
+
+__all__ = [
+    "ArtifactCache",
+    "PipelineRun",
+    "RunReport",
+    "Stage",
+    "StageBase",
+    "StageRecord",
+    "cache_enabled",
+    "default_cache",
+    "default_cache_dir",
+    "digest_config",
+    "digest_synthesis",
+    "stable_digest",
+]

@@ -1,0 +1,212 @@
+"""Content-addressed on-disk artifact cache.
+
+Every pipeline stage artifact (contamination replay, necessity report, wash
+clusters, candidate path pools, ILP outcomes, whole benchmark runs) is
+stored under a key that is a SHA-256 digest of canonical JSON describing
+*everything the artifact depends on*: the assay graph, the chip, the
+binding and baseline schedule, the relevant :class:`PDWConfig` fields, and
+a per-stage code-version string that is bumped whenever the stage's
+implementation changes.  Identical inputs therefore hit the same cache
+entry across processes and sessions, and any input or code change misses
+cleanly instead of serving a stale artifact.
+
+Artifacts are serialized with :mod:`pickle` (they are internal python
+objects, not an interchange format) and written atomically (temp file +
+``os.replace``) so concurrent writers of the same digest are safe.
+
+The default cache directory is ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/repro-pdw``; set ``REPRO_CACHE=off`` to disable disk caching
+globally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Iterator, Optional, Tuple
+
+#: Global salt for every digest; bump to invalidate all cached artifacts
+#: (e.g. after a serialization-format change).
+CACHE_FORMAT_VERSION = "1"
+
+
+# ---------------------------------------------------------------------------
+# stable digests
+# ---------------------------------------------------------------------------
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-serializable plain data, deterministically."""
+    import enum
+
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return [type(obj).__name__, _canonical(asdict(obj))]
+    if isinstance(obj, dict):
+        return {str(_canonical(k)): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(str(_canonical(item)) for item in obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for digesting")
+
+
+def stable_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``parts``.
+
+    The digest is stable across processes and python versions (no
+    ``hash()`` randomization, no ``repr`` reliance).
+    """
+    payload = json.dumps(
+        _canonical([CACHE_FORMAT_VERSION, *parts]),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def digest_config(config: Any) -> str:
+    """Digest of a :class:`~repro.core.config.PDWConfig` (or any dataclass)."""
+    return stable_digest("config", config)
+
+
+def digest_synthesis(synthesis: Any) -> str:
+    """Digest of a :class:`~repro.synth.synthesis.SynthesisResult`.
+
+    Covers the assay graph, the chip architecture, the operation binding,
+    the reagent-port assignment and the baseline schedule — everything the
+    wash optimizers read.
+    """
+    from repro.arch.io import chip_to_dict
+    from repro.assay.io import graph_to_dict
+
+    tasks = [
+        [
+            t.id, t.kind.value, t.start, t.duration,
+            list(t.path) if t.path else None,
+            t.device, t.fluid_type,
+            list(t.edge) if t.edge else None,
+            t.op_id,
+        ]
+        for t in synthesis.schedule.tasks()
+    ]
+    return stable_digest(
+        "synthesis",
+        graph_to_dict(synthesis.assay),
+        chip_to_dict(synthesis.chip),
+        dict(synthesis.binding),
+        dict(synthesis.reagent_ports),
+        tasks,
+        dict(synthesis.fluid_types),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+class ArtifactCache:
+    """A content-addressed pickle store under one directory.
+
+    Entries are sharded two levels deep (``ab/cdef...pkl``) to keep
+    directory listings small under heavy use.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # -- core API -----------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.pkl"
+
+    def get(self, digest: str) -> Optional[Any]:
+        """The artifact stored under ``digest``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry (e.g. written by an incompatible
+        code version) is treated as a miss and removed.
+        """
+        path = self._path(digest)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, digest: str, artifact: Any) -> None:
+        """Store ``artifact`` under ``digest`` (atomic, last-writer-wins)."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """All stored entry files."""
+        if not self.root.exists():
+            return iter(())
+        return self.root.glob("*/*.pkl")
+
+    def stats(self) -> Tuple[int, int]:
+        """(entry count, total bytes) of the store."""
+        count = total = 0
+        for path in self.entries():
+            count += 1
+            total += path.stat().st_size
+        return count, total
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# the default store
+# ---------------------------------------------------------------------------
+
+def cache_enabled() -> bool:
+    """Whether disk caching is globally enabled (``REPRO_CACHE`` gate)."""
+    return os.environ.get("REPRO_CACHE", "").lower() not in ("0", "off", "false", "no")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro-pdw``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-pdw"
+
+
+def default_cache() -> Optional[ArtifactCache]:
+    """The process-wide default cache, or ``None`` when disabled."""
+    if not cache_enabled():
+        return None
+    return ArtifactCache(default_cache_dir())

@@ -1,0 +1,135 @@
+"""The :class:`Stage` protocol and the :class:`PipelineRun` context.
+
+A *stage* is one step of a staged pipeline: it computes an immutable,
+picklable artifact from a context object, declares a cache key describing
+every input the artifact depends on (or ``None`` to opt out of caching),
+and reports numeric counters about what it produced.  ``version`` is the
+stage's *code version*: bump it whenever the stage's implementation changes
+so previously cached artifacts are invalidated.
+
+A :class:`PipelineRun` executes stages in order, consults the
+content-addressed :class:`~repro.pipeline.cache.ArtifactCache` before
+computing, and records one :class:`~repro.pipeline.report.StageRecord` per
+stage (wall time, cache hit, counters) into its :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Protocol, runtime_checkable
+
+from repro.pipeline.cache import ArtifactCache, stable_digest
+from repro.pipeline.report import RunReport
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step producing a cacheable artifact from a context."""
+
+    #: Stage name; also the instrumentation label.
+    name: str
+    #: Code version of the implementation; part of every cache key.
+    version: str
+
+    def key(self, ctx: Any) -> Optional[Any]:
+        """Cache-key material covering every input, or ``None`` (no cache)."""
+        ...
+
+    def compute(self, ctx: Any) -> Any:
+        """Produce the artifact (only called on a cache miss)."""
+        ...
+
+    def counters(self, artifact: Any) -> Dict[str, float]:
+        """Numeric instrumentation derived from the artifact."""
+        ...
+
+
+class StageBase:
+    """Convenience base: no cache key, no counters, no detail."""
+
+    name = "stage"
+    version = "1"
+
+    def key(self, ctx: Any) -> Optional[Any]:
+        return None
+
+    def counters(self, artifact: Any) -> Dict[str, float]:
+        return {}
+
+    def detail(self, artifact: Any) -> str:
+        """Free-form one-line description recorded with the stage."""
+        return ""
+
+
+class PipelineRun:
+    """Executes stages, serving artifacts from the cache when possible."""
+
+    def __init__(
+        self,
+        label: str = "",
+        cache: Optional[ArtifactCache] = None,
+        report: Optional[RunReport] = None,
+    ):
+        self.cache = cache
+        self.report = report if report is not None else RunReport(label=label)
+
+    # -- stage execution ---------------------------------------------------------
+
+    def run_stage(self, stage: Stage, ctx: Any) -> Any:
+        """Run one stage against ``ctx`` (cache-first) and record it."""
+        started = time.perf_counter()
+        digest: Optional[str] = None
+        key = stage.key(ctx)
+        if self.cache is not None and key is not None:
+            digest = stable_digest("stage", stage.name, stage.version, key)
+            artifact = self.cache.get(digest)
+            if artifact is not None:
+                self.report.record(
+                    stage.name,
+                    wall_s=time.perf_counter() - started,
+                    cached=True,
+                    counters=stage.counters(artifact),
+                    detail=getattr(stage, "detail", lambda a: "")(artifact),
+                )
+                return artifact
+        artifact = stage.compute(ctx)
+        if self.cache is not None and digest is not None and artifact is not None:
+            self.cache.put(digest, artifact)
+        self.report.record(
+            stage.name,
+            wall_s=time.perf_counter() - started,
+            cached=False,
+            counters=stage.counters(artifact),
+            detail=getattr(stage, "detail", lambda a: "")(artifact),
+        )
+        return artifact
+
+    def provided(self, name: str, counters: Optional[Dict[str, float]] = None) -> None:
+        """Record a stage whose artifact was handed in by the caller.
+
+        Used when an upstream artifact (e.g. the contamination replay) is
+        shared between pipelines instead of recomputed: the consuming
+        pipeline still shows the stage, with zero wall time.
+        """
+        rec_counters = dict(counters or {})
+        rec_counters["shared"] = 1.0
+        self.report.record(name, wall_s=0.0, cached=True, counters=rec_counters)
+
+    def timed(
+        self,
+        name: str,
+        compute: Callable[[], Any],
+        counters: Optional[Callable[[Any], Dict[str, float]]] = None,
+        detail: str = "",
+    ) -> Any:
+        """Run an ad-hoc (non-cached, non-Stage) step under instrumentation."""
+        started = time.perf_counter()
+        artifact = compute()
+        self.report.record(
+            name,
+            wall_s=time.perf_counter() - started,
+            cached=False,
+            counters=counters(artifact) if counters else {},
+            detail=detail,
+        )
+        return artifact

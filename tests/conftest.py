@@ -16,6 +16,24 @@ from repro.core import PDWConfig, optimize_washes
 from repro.synth import synthesize
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the on-disk artifact cache at a throwaway per-session dir.
+
+    Keeps the suite hermetic: tests never read from or write to the
+    user's real ``~/.cache/repro-pdw``.
+    """
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def build_demo_assay() -> SequencingGraph:
     """A 6-op assay exercising mixing, detection and heating."""
     g = SequencingGraph("demo")

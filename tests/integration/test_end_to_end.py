@@ -7,7 +7,7 @@ on every reported metric while both plans stay physically valid.
 
 import pytest
 
-from repro.bench import benchmark, load_benchmark
+from repro.bench import benchmark
 from repro.contam import contamination_violations
 from repro.core import PDWConfig
 from repro.experiments.runner import run_benchmark

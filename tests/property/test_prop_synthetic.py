@@ -1,7 +1,6 @@
 """Property tests: the synthetic-assay generator and assay invariants."""
 
-import networkx as nx
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.assay.operations import is_transformative

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import ChipCostReport, VolumeModel, chip_cost, compare_plans
+from repro.analysis import VolumeModel, chip_cost, compare_plans
 from repro.arch import figure2_chip
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.assay import Operation, Reagent, SequencingGraph
-from repro.assay.fluids import BUFFER_TYPE, Fluid, buffer_fluid, composite_fluid
+from repro.assay.fluids import Fluid, buffer_fluid, composite_fluid
 from repro.assay.operations import default_duration, is_transformative, spec_for
 from repro.errors import AssayError
 

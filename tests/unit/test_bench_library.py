@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench import BENCHMARKS, benchmark, benchmark_names, load_benchmark
+from repro.bench import benchmark, benchmark_names, load_benchmark
 from repro.bench.synthetic import synthetic_assay
 from repro.errors import BenchmarkError
 

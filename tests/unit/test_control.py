@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import ChipBuilder, DeviceKind, figure2_chip
+from repro.arch import ChipBuilder, figure2_chip
 from repro.arch.control import ControlLayer, _norm
 from repro.errors import ArchitectureError
 from repro.schedule import Schedule, ScheduledTask, TaskKind

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import dawo_plan, immediate_wash_plan
+from repro.baselines import immediate_wash_plan
 from repro.contam import contamination_violations
 from repro.schedule import TaskKind
 

@@ -3,8 +3,6 @@
 import json
 import xml.etree.ElementTree as ET
 
-import pytest
-
 from repro.arch import figure2_chip
 from repro.arch.presets import FIGURE2_FLOW_PATHS
 from repro.export import actuation_program, plan_to_dict, plan_to_json
@@ -83,8 +81,7 @@ class TestSvg:
     def test_chip_without_positions(self):
         import networkx as nx
         from repro.arch.chip import Chip, NodeKind
-        from repro.arch.device import Device, DeviceKind
-
+        
         g = nx.Graph()
         g.add_node("in1", kind=NodeKind.FLOW_PORT)
         g.add_node("out1", kind=NodeKind.WASTE_PORT)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.ilp import LinExpr, Model, VarType
+from repro.ilp import LinExpr, Model
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ilp import LinExpr, Model, SolveStatus, solve
+from repro.ilp import LinExpr, Model, SolveStatus
 
 
 class TestBasicSolves:

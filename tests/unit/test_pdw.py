@@ -103,9 +103,6 @@ class TestSemantics:
     def test_wash_inside_its_window(self, demo_pdw_plan, demo_synthesis):
         """Eq. 16 against the re-timed schedule: wash after every source,
         before every blocker."""
-        from repro.contam import ContaminationTracker, wash_requirements
-        from repro.core.targets import cluster_requirements
-
         sched = demo_pdw_plan.schedule
         for wash in demo_pdw_plan.washes:
             task = sched.get(f"wash:{wash.id}")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import ChipBuilder, DeviceKind, Router, figure2_chip
+from repro.arch import Router, figure2_chip
 from repro.arch.routing import is_simple
 from repro.errors import RoutingError
 

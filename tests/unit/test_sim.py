@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.baselines import dawo_plan
-from repro.schedule import Schedule, ScheduledTask, TaskKind
+from repro.schedule import ScheduledTask
 from repro.sim import ScheduleExecutor, SimEventKind, simulate_plan
 
 
