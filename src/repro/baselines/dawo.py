@@ -57,15 +57,20 @@ class SweepLineReplayer:
         synthesis: SynthesisResult,
         clusters: Sequence[WashCluster],
         eager: bool = False,
+        wash_paths: Optional[Dict[str, FlowPath]] = None,
     ):
         self.synthesis = synthesis
         self.chip = synthesis.chip
         self.router = Router(synthesis.chip)
         self.clusters = list(clusters)
         self.eager = eager
-        self.wash_paths: Dict[str, FlowPath] = {
-            c.id: self._bfs_path(sorted(c.targets)) for c in self.clusters
-        }
+        # Callers with pre-routed paths (the greedy solver fallback) pass
+        # them in; DAWO itself routes per its BFS recipe.
+        self.wash_paths: Dict[str, FlowPath] = (
+            dict(wash_paths)
+            if wash_paths is not None
+            else {c.id: self._bfs_path(sorted(c.targets)) for c in self.clusters}
+        )
 
     # -- wash construction ---------------------------------------------------------
 
@@ -160,6 +165,7 @@ class SweepLineReplayer:
             washes=washes,
             baseline_schedule=baseline,
             solver_status="heuristic",
+            solver_rung="heuristic",
         )
 
     def _place_wash(
@@ -338,6 +344,8 @@ def dawo_plan(
     plan = DelayAwareWashOptimizer(synthesis, cache=cache, tracker=tracker).run()
     if verify:
         from repro.core.pdw import verify_plan
+        from repro.sim.validate import validate_plan
 
         verify_plan(plan)
+        validate_plan(plan, synthesis)
     return plan

@@ -41,6 +41,8 @@ def immediate_wash_plan(
     plan.notes["necessity_events"] = float(report.total_events)
     if verify:
         from repro.core.pdw import verify_plan
+        from repro.sim.validate import validate_plan
 
         verify_plan(plan)
+        validate_plan(plan, synthesis)
     return plan

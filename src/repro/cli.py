@@ -23,11 +23,14 @@ from repro.assay import graph_from_json
 from repro.baselines import dawo_plan, immediate_wash_plan
 from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
+from repro.errors import ReproError
 from repro.experiments.__main__ import main as experiments_main
 from repro.pipeline import default_cache, default_cache_dir
 from repro.schedule import render_gantt
 from repro.synth import synthesize
 from repro.viz import render_chip
+
+_SOLVERS = ("auto", "highs", "branch_bound", "greedy")
 
 _METHODS = {
     "pdw": lambda synth, cfg, cache: optimize_washes(synth, cfg, cache=cache),
@@ -37,7 +40,7 @@ _METHODS = {
 
 
 def _print_plan(plan, show_gantt: bool, show_chip: bool, show_stats: bool = False) -> None:
-    print(f"method:      {plan.method} ({plan.solver_status})")
+    print(f"method:      {plan.method} ({plan.solver_status} via {plan.solver_rung})")
     for key, value in plan.metrics().items():
         print(f"{key + ':':<13}{value:g}")
     for wash in plan.washes:
@@ -66,6 +69,10 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("benchmark", choices=list(BENCHMARKS))
     p_run.add_argument("--method", choices=list(_METHODS), default="pdw")
     p_run.add_argument("--time-limit", type=float, default=120.0)
+    p_run.add_argument(
+        "--solver", choices=_SOLVERS, default="auto",
+        help="pin a solver ladder rung (default: full degradation ladder)",
+    )
     p_run.add_argument("--gantt", action="store_true", help="print the schedule chart")
     p_run.add_argument("--chip", action="store_true", help="print the chip layout")
     p_run.add_argument(
@@ -79,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     p_assay.add_argument("file", type=Path)
     p_assay.add_argument("--method", choices=list(_METHODS), default="pdw")
     p_assay.add_argument("--time-limit", type=float, default=120.0)
+    p_assay.add_argument("--solver", choices=_SOLVERS, default="auto")
     p_assay.add_argument("--gantt", action="store_true")
     p_assay.add_argument("--chip", action="store_true")
     p_assay.add_argument("--stats", action="store_true")
@@ -115,7 +123,16 @@ def main(argv: list[str] | None = None) -> int:
     p_export.add_argument("--out", type=Path, default=None, help="output file (default stdout)")
 
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # Every library failure surfaces as a clean one-line error, never a
+        # traceback — infeasible ILPs, malformed assays, solver breakdowns.
+        print(f"pdw: error: {exc}", file=sys.stderr)
+        return 2
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for name, spec in BENCHMARKS.items():
             print(
@@ -130,7 +147,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         return _run_cache(args.action)
 
-    config = PDWConfig(time_limit_s=args.time_limit)
+    config = PDWConfig(
+        time_limit_s=args.time_limit, solver=getattr(args, "solver", "auto")
+    )
 
     if args.command == "cost":
         return _run_cost(args.benchmark, config)

@@ -53,6 +53,14 @@ class PDWConfig:
         still enforces the exact ψ timing of Eq. (21); this knob only
         bounds which removals are *considered*, trading candidate-pool
         size against integration opportunities found.
+    solver:
+        Which rung of the solver degradation ladder to use.  ``"auto"``
+        (default) walks the full ladder — HiGHS, a relaxed HiGHS retry,
+        then branch-and-bound — stopping at the first usable incumbent;
+        ``"highs"`` / ``"branch_bound"`` pin a backend; ``"greedy"`` skips
+        the ILP entirely and assembles the plan with the sweep-line
+        heuristic (``REPRO_FORCE_SOLVER`` overrides ``"auto"`` from the
+        environment).
     """
 
     alpha: float = 0.3
@@ -67,6 +75,7 @@ class PDWConfig:
     necessity: NecessityPolicy = NecessityPolicy.PDW
     enable_integration: bool = True
     integration_window_s: float = 10.0
+    solver: str = "auto"
 
     def __post_init__(self) -> None:
         if min(self.alpha, self.beta, self.gamma) < 0:
@@ -81,6 +90,8 @@ class PDWConfig:
             raise WashError(f"unknown path mode {self.path_mode!r}")
         if self.integration_window_s < 0:
             raise WashError("integration window must be non-negative")
+        if self.solver not in ("auto", "highs", "branch_bound", "greedy"):
+            raise WashError(f"unknown solver {self.solver!r}")
 
 
 #: The exact parameterization used in the paper's experiments.

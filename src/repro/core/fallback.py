@@ -1,0 +1,90 @@
+"""Last-resort greedy plan assembly for the solver degradation ladder.
+
+When every backend rung of the :class:`~repro.ilp.SolverPortfolio` fails
+(:class:`~repro.errors.LadderExhausted`), the scheduling stage still owes
+the caller a contamination-free plan.  This module assembles one without
+any ILP: each cluster takes its first candidate wash path and the shared
+:class:`~repro.baselines.dawo.SweepLineReplayer` places the washes at the
+earliest conflict-free slots, delaying blocked tasks as needed — the same
+machinery the DAWO baseline trusts, so correctness (no node overlap, wash
+before every blocker) is inherited, only optimality is given up.
+
+The result is re-packaged as an :class:`IlpWashOutcome` whose ``rung`` is
+``"greedy"`` so the degraded solve is visible in the plan, the run report
+and ``pdw report timings``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Sequence, Tuple
+
+from repro.core.schedule_ilp import IlpWashOutcome
+from repro.errors import WashError
+from repro.ilp import RungAttempt, SolveStatus
+from repro.schedule.tasks import TaskKind
+
+
+def greedy_outcome(ctx, prior_attempts: Sequence[RungAttempt] = ()) -> IlpWashOutcome:
+    """Assemble a feasible wash schedule without solving any ILP.
+
+    ``ctx`` is the :class:`~repro.core.stages.PDWContext` with clusters
+    and candidate paths already computed.  ``prior_attempts`` carries the
+    failed ladder rungs so the outcome's attempt history stays complete.
+    """
+    from repro.baselines.dawo import SweepLineReplayer  # deferred: avoids cycle
+
+    started = time.perf_counter()
+    paths = {}
+    for cluster in ctx.clusters:
+        pool = ctx.candidates.get(cluster.id)
+        if not pool:
+            raise WashError(f"cluster {cluster.id!r} has no candidate paths")
+        paths[cluster.id] = pool[0]
+
+    replayer = SweepLineReplayer(
+        ctx.synthesis, ctx.clusters, eager=False, wash_paths=paths
+    )
+    plan = replayer.run(method="PDW")
+
+    starts: Dict[str, int] = {
+        t.id: t.start for t in plan.schedule.tasks() if t.kind is not TaskKind.WASH
+    }
+    wash_starts: Dict[str, int] = {}
+    wash_paths: Dict[str, object] = {}
+    wash_durations: Dict[str, int] = {}
+    for wash in plan.washes:
+        wash_starts[wash.id] = wash.start
+        wash_paths[wash.id] = wash.path
+        wash_durations[wash.id] = wash.duration
+
+    cfg = ctx.config
+    objective = (
+        cfg.alpha * plan.n_wash
+        + cfg.beta * plan.l_wash_mm
+        + cfg.gamma * plan.t_assay
+    )
+    elapsed = time.perf_counter() - started
+    attempts: Tuple[RungAttempt, ...] = tuple(prior_attempts) + (
+        RungAttempt(
+            rung="greedy",
+            status=SolveStatus.FEASIBLE.value,
+            wall_s=elapsed,
+            objective=objective,
+            message="sweep-line assembly (no ILP)",
+        ),
+    )
+    return IlpWashOutcome(
+        status=SolveStatus.FEASIBLE,
+        objective=objective,
+        solve_time_s=elapsed,
+        starts=starts,
+        wash_starts=wash_starts,
+        wash_paths=wash_paths,
+        wash_durations=wash_durations,
+        absorbed={},
+        model_stats="greedy fallback (no model)",
+        mip_gap=None,
+        rung="greedy",
+        attempts=attempts,
+    )

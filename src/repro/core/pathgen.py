@@ -13,24 +13,34 @@ The scheduling ILP then selects one candidate per wash operation; with
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.chip import Chip, FlowPath
 from repro.arch.routing import Router, is_simple
 from repro.errors import RoutingError, WashError
 
 
+def _bump(stats: Optional[Dict[str, int]], key: str) -> None:
+    """Increment a routing-outcome counter when a stats dict is supplied."""
+    if stats is not None:
+        stats[key] = stats.get(key, 0) + 1
+
+
 def candidate_paths(
     chip: Chip,
     targets: Sequence[str],
     max_candidates: int = 6,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[FlowPath]:
     """Candidate wash paths covering ``targets``, shortest first.
 
     Every returned path starts at a flow port and ends at a waste port
     (Eq. 12) and visits every target (Eq. 15).  Raises
     :class:`~repro.errors.WashError` when no port pair can reach the
-    targets at all.
+    targets at all.  ``stats`` (when given) accumulates routing-outcome
+    counters — ``avoid_relaxed`` (detour constraint dropped) and
+    ``unroutable_pairs`` (port pair skipped entirely) — so silently
+    discarded routes stay visible in the pipeline report.
     """
     if not targets:
         raise WashError("a wash path needs at least one target")
@@ -40,7 +50,7 @@ def candidate_paths(
     scored: List[Tuple[float, FlowPath]] = []
     for fp in chip.flow_ports:
         for wp in chip.waste_ports:
-            path = _route(router, fp, targets, wp, foreign_devices)
+            path = _route(router, fp, targets, wp, foreign_devices, stats)
             if path is not None:
                 scored.append((chip.path_length_mm(path), path))
 
@@ -70,15 +80,22 @@ def _route(
     targets: Sequence[str],
     wp: str,
     foreign_devices: Set[str],
+    stats: Optional[Dict[str, int]] = None,
 ) -> FlowPath | None:
-    """One covering route for a port pair; ``None`` when unreachable."""
+    """One covering route for a port pair; ``None`` when unreachable.
+
+    Routing failures are expected here (many port pairs simply cannot
+    reach the targets) but they must not vanish silently: each dropped
+    detour constraint and each unroutable pair is counted into ``stats``.
+    """
     try:
         return router.path_through(fp, sorted(targets), wp, avoid=foreign_devices)
     except RoutingError:
-        pass
+        _bump(stats, "avoid_relaxed")
     try:
         return router.path_through(fp, sorted(targets), wp)
     except RoutingError:
+        _bump(stats, "unroutable_pairs")
         return None
 
 
@@ -87,6 +104,7 @@ def integration_candidates(
     targets: Sequence[str],
     removal_paths: Sequence[FlowPath],
     max_extra: int = 3,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[FlowPath]:
     """Candidates that additionally cover an excess-removal path.
 
@@ -103,7 +121,7 @@ def integration_candidates(
     for rm_path in removal_paths:
         interior = [n for n in rm_path if not chip.is_port(n)]
         union = sorted(set(targets) | set(interior))
-        cand = _route(router, rm_path[0], union, rm_path[-1], foreign_devices)
+        cand = _route(router, rm_path[0], union, rm_path[-1], foreign_devices, stats)
         if cand is not None and set(rm_path) <= set(cand) and is_simple(cand):
             out.append(cand)
         if len(out) >= max_extra:

@@ -43,6 +43,7 @@ from repro.core.stages import (
 )
 from repro.errors import WashError
 from repro.pipeline import ArtifactCache, PipelineRun
+from repro.sim.validate import validate_plan
 from repro.synth.synthesis import SynthesisResult
 
 
@@ -103,16 +104,34 @@ class PathDriverWash:
             return self._finish(plan, run, verify=False)
 
         ctx.clusters = run.run_stage(CLUSTER_STAGE, ctx)
-        ctx.candidates = run.run_stage(PATHGEN_STAGE, ctx)
+        ctx.candidates = run.run_stage(PATHGEN_STAGE, ctx).candidates
         ctx.outcome = run.run_stage(SCHEDULE_ILP_STAGE, ctx)
+        self._record_rungs(run, ctx.outcome)
         plan = run.run_stage(ASSEMBLE_STAGE, ctx)
         return self._finish(plan, run, verify=verify)
+
+    @staticmethod
+    def _record_rungs(run: PipelineRun, outcome) -> None:
+        """One report record per solver-ladder rung attempt."""
+        for att in outcome.attempts:
+            counters = {}
+            if att.mip_gap is not None:
+                counters["mip_gap"] = float(att.mip_gap)
+            if att.objective is not None:
+                counters["objective"] = float(att.objective)
+            run.report.record(
+                f"ilp.rung.{att.rung}",
+                wall_s=att.wall_s,
+                counters=counters,
+                detail=f"{att.status}: {att.message}" if att.message else att.status,
+            )
 
     def _finish(self, plan: WashPlan, run: PipelineRun, verify: bool) -> WashPlan:
         plan.report = run.report
         plan.notes.update(run.report.flat())
         if verify:
             verify_plan(plan)
+            validate_plan(plan, self.synthesis)
         return plan
 
 

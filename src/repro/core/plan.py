@@ -44,6 +44,9 @@ class WashPlan:
     washes: List[WashOperation]
     baseline_schedule: Schedule
     solver_status: str = "n/a"
+    #: Degradation-ladder rung that produced the plan (``highs`` |
+    #: ``highs-relaxed`` | ``branch_bound`` | ``greedy`` | ``heuristic``).
+    solver_rung: str = "n/a"
     solve_time_s: float = 0.0
     notes: Dict[str, float] = field(default_factory=dict)
     #: Per-stage instrumentation of the pipeline that built this plan.

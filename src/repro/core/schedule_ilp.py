@@ -28,8 +28,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.arch.chip import Chip, FlowPath
 from repro.core.config import PDWConfig
 from repro.core.targets import WashCluster
-from repro.errors import WashError
-from repro.ilp import LinExpr, Model, SolveStatus, Variable
+from repro.errors import InfeasibleError, SolverError, UnboundedError, WashError
+from repro.ilp import (
+    LinExpr,
+    Model,
+    RungAttempt,
+    SolverPortfolio,
+    SolveStatus,
+    Variable,
+)
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import ScheduledTask, TaskKind
 
@@ -51,6 +58,8 @@ class IlpWashOutcome:
     n_variables: int = 0
     n_binaries: int = 0
     n_constraints: int = 0
+    rung: str = "highs"
+    attempts: Tuple[RungAttempt, ...] = ()
 
 
 class WashScheduleIlp:
@@ -410,15 +419,27 @@ class WashScheduleIlp:
 
     # -- solving / extraction -------------------------------------------------------------------
 
-    def solve(self) -> IlpWashOutcome:
-        """Build (if needed), solve, and extract the outcome."""
+    def solve(self, portfolio: Optional[SolverPortfolio] = None) -> IlpWashOutcome:
+        """Build (if needed), solve via the degradation ladder, and extract.
+
+        A proven-infeasible/unbounded model raises a clean
+        :class:`InfeasibleError` / :class:`UnboundedError`;
+        :class:`~repro.errors.LadderExhausted` (every backend rung failed)
+        propagates so the ILP stage can fall back to greedy assembly.
+        """
         if not self.model.variables:
             self.build()
-        solution = self.model.solve(
-            time_limit_s=self.config.time_limit_s, mip_gap=self.config.mip_gap
-        )
-        if not solution.status.has_solution:
-            raise WashError(f"PDW scheduling ILP failed: {solution.status.value}")
+        pf = portfolio if portfolio is not None else SolverPortfolio.from_config(self.config)
+        result = pf.solve(self.model)
+        solution = result.solution
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"PDW scheduling ILP is infeasible ({self.model.stats()})"
+            )
+        if solution.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError("PDW scheduling ILP is unbounded")
+        if not solution.status.has_solution:  # pragma: no cover - ladder guarantees
+            raise SolverError(f"PDW scheduling ILP failed: {solution.status.value}")
 
         starts = {task.id: solution.rounded(self._t[task.id]) for task in self.tasks}
         wash_starts, wash_paths, wash_durs = {}, {}, {}
@@ -448,4 +469,6 @@ class WashScheduleIlp:
             n_variables=len(self.model.variables),
             n_binaries=self.model.num_binaries,
             n_constraints=len(self.model.constraints),
+            rung=result.rung,
+            attempts=result.attempts,
         )

@@ -30,12 +30,14 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.contam import ContaminationTracker, wash_requirements
 from repro.contam.necessity import NecessityReport
 from repro.core.config import PDWConfig
+from repro.core.fallback import greedy_outcome
 from repro.core.path_ilp import exact_wash_path
 from repro.core.pathgen import candidate_paths, integration_candidates
 from repro.core.plan import WashOperation, WashPlan
 from repro.core.schedule_ilp import IlpWashOutcome, WashScheduleIlp
 from repro.core.targets import WashCluster, cluster_requirements
-from repro.errors import WashError
+from repro.errors import LadderExhausted, WashError
+from repro.ilp import faults
 from repro.pipeline import StageBase, digest_synthesis
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import ScheduledTask, TaskKind
@@ -142,11 +144,25 @@ class ClusterStage(StageBase):
         }
 
 
+@dataclass(frozen=True)
+class PathgenResult:
+    """Candidate pools per cluster plus the routing skips behind them.
+
+    The skip counters (``avoid_relaxed``, ``unroutable_pairs``,
+    ``exact_fallbacks``) are part of the cached artifact so the silent
+    routing failures inside path generation stay visible in the run
+    report even on cache hits.
+    """
+
+    candidates: Dict[str, List]
+    skips: Dict[str, int] = field(default_factory=dict)
+
+
 class PathGenStage(StageBase):
     """Candidate wash paths per cluster (Section II-C, optionally exact)."""
 
     name = "pathgen"
-    version = "1"
+    version = "2"
 
     def key(self, ctx: PDWContext):
         cfg = ctx.config
@@ -161,15 +177,16 @@ class PathGenStage(StageBase):
             cfg.integration_window_s,
         )
 
-    def compute(self, ctx: PDWContext) -> Dict[str, List]:
+    def compute(self, ctx: PDWContext) -> PathgenResult:
         chip = ctx.synthesis.chip
         config = ctx.config
         removals = ctx.synthesis.schedule.tasks(TaskKind.REMOVAL)
         window = config.integration_window_s
         candidates: Dict[str, List] = {}
+        skips: Dict[str, int] = {}
         for cluster in ctx.clusters:
             pool = candidate_paths(
-                chip, sorted(cluster.targets), config.max_candidates
+                chip, sorted(cluster.targets), config.max_candidates, stats=skips
             )
             seen: Set[Tuple[str, ...]] = {tuple(p) for p in pool}
             if config.enable_integration:
@@ -180,7 +197,7 @@ class PathGenStage(StageBase):
                     and rm.end >= cluster.release - window
                 ]
                 for cand in integration_candidates(
-                    chip, sorted(cluster.targets), nearby
+                    chip, sorted(cluster.targets), nearby, stats=skips
                 ):
                     if tuple(cand) not in seen:
                         pool.append(cand)
@@ -192,27 +209,40 @@ class PathGenStage(StageBase):
                         pool.insert(0, exact)
                         seen.add(tuple(exact))
                 except WashError:
-                    pass  # fall back to the greedy pool
+                    # Fall back to the greedy pool — but count the skip so
+                    # the degraded path quality is visible in the report.
+                    skips["exact_fallbacks"] = skips.get("exact_fallbacks", 0) + 1
             candidates[cluster.id] = pool
-        return candidates
+        return PathgenResult(candidates=candidates, skips=skips)
 
-    def counters(self, candidates: Dict[str, List]) -> Dict[str, float]:
-        pools = list(candidates.values())
-        return {
+    def counters(self, result: PathgenResult) -> Dict[str, float]:
+        pools = list(result.candidates.values())
+        stats = {
             "pools": float(len(pools)),
             "candidates": float(sum(len(p) for p in pools)),
         }
+        stats.update({k: float(v) for k, v in sorted(result.skips.items())})
+        return stats
 
 
 class ScheduleIlpStage(StageBase):
-    """Build and solve the scheduling ILP (Eqs. 1-8, 16-26)."""
+    """Build and solve the scheduling ILP (Eqs. 1-8, 16-26).
+
+    Solving goes through the :class:`~repro.ilp.SolverPortfolio`
+    degradation ladder; when every backend rung fails
+    (:class:`LadderExhausted`) the stage falls back to greedy sweep-line
+    assembly so a fault-injected or solver-less run still produces a
+    valid, degraded plan.
+    """
 
     name = "ilp"
-    version = "1"
+    version = "2"
 
     def key(self, ctx: PDWContext):
-        # The outcome depends on every config field (weights, limits, ...).
-        return (ctx.synthesis_digest, ctx.config)
+        # The outcome depends on every config field (weights, limits, ...)
+        # plus the solver-altering environment (fault injection / forced
+        # rung) — the latter must never poison the clean-run cache.
+        return (ctx.synthesis_digest, ctx.config, faults.environment_token())
 
     def compute(self, ctx: PDWContext) -> IlpWashOutcome:
         ilp = WashScheduleIlp(
@@ -222,7 +252,10 @@ class ScheduleIlpStage(StageBase):
             ctx.candidates,
             ctx.config,
         )
-        return ilp.solve()
+        try:
+            return ilp.solve()
+        except LadderExhausted as exc:
+            return greedy_outcome(ctx, exc.attempts)
 
     def counters(self, outcome: IlpWashOutcome) -> Dict[str, float]:
         stats = {
@@ -232,13 +265,14 @@ class ScheduleIlpStage(StageBase):
             "binaries": float(outcome.n_binaries),
             "constraints": float(outcome.n_constraints),
             "absorbed": float(len(outcome.absorbed)),
+            "rungs_tried": float(len(outcome.attempts)),
         }
         if outcome.mip_gap is not None:
             stats["mip_gap"] = outcome.mip_gap
         return stats
 
     def detail(self, outcome: IlpWashOutcome) -> str:
-        return f"{outcome.status.value}; {outcome.model_stats}"
+        return f"{outcome.status.value} via {outcome.rung}; {outcome.model_stats}"
 
 
 class AssembleStage(StageBase):
@@ -296,6 +330,7 @@ class AssembleStage(StageBase):
             washes=washes,
             baseline_schedule=baseline,
             solver_status=outcome.status.value,
+            solver_rung=outcome.rung,
             solve_time_s=outcome.solve_time_s,
             notes={
                 "ilp_objective": outcome.objective,

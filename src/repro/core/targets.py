@@ -64,13 +64,17 @@ def _coverable(router: Router, targets: Sequence[str], max_candidates: int = 1) 
     """Shortest *simple* port-to-port path covering ``targets``, or ``None``.
 
     Merges are only accepted when one buffer flush can cover the union
-    without doubling back through a channel.
+    without doubling back through a channel.  Up to ``max_candidates``
+    routes are tried, shortest first, until a simple one is found.
     """
     try:
-        path = router.port_to_port_candidates(sorted(targets), max_candidates)[0]
+        candidates = router.port_to_port_candidates(sorted(targets), max_candidates)
     except RoutingError:
         return None
-    return path if is_simple(path) else None
+    for path in candidates:
+        if is_simple(path):
+            return path
+    return None
 
 
 def cluster_requirements(

@@ -41,6 +41,19 @@ class UnboundedError(SolverError):
         super().__init__(message)
 
 
+class LadderExhausted(SolverError):
+    """Every rung of the solver degradation ladder failed to solve.
+
+    Carries the per-rung attempt records
+    (:class:`~repro.ilp.portfolio.RungAttempt`) so callers falling back to
+    a last-resort heuristic can still report what was tried.
+    """
+
+    def __init__(self, message: str = "every solver rung failed", attempts=()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
 class ArchitectureError(ReproError):
     """Invalid chip architecture (overlapping devices, detached ports...)."""
 

@@ -37,6 +37,7 @@ from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
 from repro.core.stages import REPLAY_STAGE, PDWContext
+from repro.ilp import faults
 from repro.pipeline import (
     ArtifactCache,
     PipelineRun,
@@ -49,7 +50,7 @@ from repro.synth.synthesis import SynthesisResult
 
 #: Code version of the whole-run artifact; bump when run_benchmark's
 #: composition (not just one stage) changes.
-RUNNER_VERSION = "1"
+RUNNER_VERSION = "2"
 
 
 @dataclass
@@ -88,14 +89,16 @@ def _run_digest(name: str, config: PDWConfig) -> str:
     """Content digest of a whole benchmark run.
 
     Includes the assay graph and device inventory (so editing a benchmark
-    definition invalidates its cached runs), the full config, and the
-    runner code version.
+    definition invalidates its cached runs), the full config, the
+    solver-altering environment (fault injection / forced rung — degraded
+    runs must never poison the clean cache), and the runner code version.
     """
     spec = benchmark(name)
     assay = spec.build()
     inventory = {kind.value: count for kind, count in spec.inventory.items()}
     return stable_digest(
-        "benchmark-run", RUNNER_VERSION, name, graph_to_dict(assay), inventory, config
+        "benchmark-run", RUNNER_VERSION, name, graph_to_dict(assay), inventory,
+        config, faults.environment_token(),
     )
 
 
@@ -111,7 +114,7 @@ def run_benchmark(
     ``use_cache=False`` to bypass (and not populate) both cache levels.
     """
     cfg = config or PDWConfig(time_limit_s=120.0)
-    key = (name, cfg)
+    key = (name, cfg, faults.environment_token())
     if use_cache:
         with _CACHE_LOCK:
             hit = _CACHE.get(key)
@@ -215,7 +218,14 @@ def run_suite(
             # same-process calls return identical objects.
             with _CACHE_LOCK:
                 for run in runs:
-                    _CACHE.setdefault((run.name, config or PDWConfig(time_limit_s=120.0)), run)
+                    _CACHE.setdefault(
+                        (
+                            run.name,
+                            config or PDWConfig(time_limit_s=120.0),
+                            faults.environment_token(),
+                        ),
+                        run,
+                    )
         return runs
     with ThreadPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(_run_benchmark_task, tasks))

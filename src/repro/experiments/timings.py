@@ -49,16 +49,22 @@ def solver_rows(runs: Sequence[BenchmarkRun]) -> List[List[str]]:
     """One row per benchmark: PDW scheduling-ILP statistics."""
     rows: List[List[str]] = []
     for run in runs:
+        rung = getattr(run.pdw, "solver_rung", "") or "-"
         rec = run.report.get("pdw.ilp") if run.report else None
         if rec is None:
-            rows.append([run.name, run.pdw.solver_status, "-", "-", "-", "-", "-"])
+            rows.append(
+                [run.name, run.pdw.solver_status, rung, "-", "-", "-", "-", "-", "-"]
+            )
             continue
         c = rec.counters
         gap = c.get("mip_gap")
+        rungs_tried = c.get("rungs_tried")
         rows.append(
             [
                 run.name,
                 run.pdw.solver_status,
+                rung,
+                f"{rungs_tried:.0f}" if rungs_tried is not None else "-",
                 f"{c.get('variables', 0):.0f}",
                 f"{c.get('binaries', 0):.0f}",
                 f"{c.get('constraints', 0):.0f}",
@@ -81,7 +87,10 @@ def timings_report(
     text = "Pipeline stage timings (s; * = served from artifact cache)\n"
     text += render_table(stage_headers, timings_rows(runs))
 
-    solver_headers = ["Benchmark", "status", "vars", "bin", "constrs", "solve(s)", "gap"]
+    solver_headers = [
+        "Benchmark", "status", "rung", "tried", "vars", "bin", "constrs",
+        "solve(s)", "gap",
+    ]
     text += "\nPDW scheduling-ILP solver statistics\n"
     text += render_table(solver_headers, solver_rows(runs))
     return text

@@ -14,6 +14,7 @@ def plan_to_dict(plan: WashPlan) -> Dict[str, Any]:
         "method": plan.method,
         "chip": plan.chip.name,
         "solver_status": plan.solver_status,
+        "solver_rung": plan.solver_rung,
         "solve_time_s": round(plan.solve_time_s, 4),
         "metrics": plan.metrics(),
         "baseline_makespan_s": plan.baseline_makespan,

@@ -12,6 +12,10 @@ equivalent substrate without proprietary dependencies:
 * :class:`~repro.ilp.branch_bound.BranchAndBoundSolver` — a pure-Python
   branch-and-bound fallback (LP relaxations via ``scipy.optimize.linprog``),
   useful for testing and for environments without HiGHS,
+* :class:`~repro.ilp.portfolio.SolverPortfolio` — the budgeted degradation
+  ladder (HiGHS → relaxed retry → branch-and-bound) with per-rung
+  :class:`~repro.ilp.portfolio.RungAttempt` instrumentation and
+  deterministic fault injection (:mod:`repro.ilp.faults`),
 * :func:`~repro.ilp.lpwriter.write_lp` — CPLEX LP-format export for
   debugging models offline.
 
@@ -33,18 +37,24 @@ from repro.ilp.model import Constraint, Model
 from repro.ilp.solution import Solution, SolveStatus
 from repro.ilp.solver import HighsOptions, solve
 from repro.ilp.branch_bound import BranchAndBoundSolver
+from repro.ilp.faults import FaultSpec
+from repro.ilp.portfolio import PortfolioResult, RungAttempt, SolverPortfolio
 from repro.ilp.lpwriter import write_lp
 
 __all__ = [
     "BranchAndBoundSolver",
     "Constraint",
+    "FaultSpec",
     "HighsOptions",
     "LinExpr",
     "Model",
+    "PortfolioResult",
+    "RungAttempt",
     "Solution",
     "SolveStatus",
     "VarType",
     "Variable",
+    "SolverPortfolio",
     "solve",
     "write_lp",
 ]

@@ -20,6 +20,11 @@ from repro.errors import SolverError
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
 
+#: Largest deviation from an integer an "integral" incumbent may show.
+#: HiGHS's own MIP feasibility tolerance is 1e-6; anything beyond it is a
+#: numerically broken incumbent, not rounding noise.
+_INT_TOL = 1e-6
+
 #: Map from ``scipy.optimize.milp`` status codes to ours.
 _STATUS_MAP = {
     0: SolveStatus.OPTIMAL,
@@ -141,7 +146,23 @@ def solve(
         x = np.asarray(result.x)
         for var in model.variables:
             raw = float(x[var.index])
-            values[var] = float(round(raw)) if var.is_integral else raw
+            if var.is_integral:
+                if abs(raw - round(raw)) > _INT_TOL:
+                    # A fractional "integral" incumbent must not be silently
+                    # repaired by rounding: the rounded point may violate
+                    # constraints the solver never checked it against.
+                    return Solution(
+                        status=SolveStatus.ERROR,
+                        solve_time_s=elapsed,
+                        message=(
+                            f"integrality violated: {var.name}={raw!r} is "
+                            f"{abs(raw - round(raw)):.3e} from an integer "
+                            f"(tolerance {_INT_TOL:g})"
+                        ),
+                    )
+                values[var] = float(round(raw))
+            else:
+                values[var] = raw
         objective = model.objective.constant + sum(
             coef * values[var] for var, coef in model.objective.terms.items()
         )

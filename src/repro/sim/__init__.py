@@ -14,11 +14,15 @@ product out of a device before the producing operation ran.
 
 from repro.sim.events import SimEvent, SimEventKind, SimReport
 from repro.sim.executor import ScheduleExecutor, simulate_plan
+from repro.sim.validate import PlanValidationError, validate_plan, validation_problems
 
 __all__ = [
+    "PlanValidationError",
     "ScheduleExecutor",
     "SimEvent",
     "SimEventKind",
     "SimReport",
     "simulate_plan",
+    "validate_plan",
+    "validation_problems",
 ]

@@ -1,0 +1,69 @@
+"""Independent wash-plan validation by operational replay.
+
+The optimizers each carry their own invariants (the ILP's constraints, the
+sweep-line's timeline); this module trusts none of them.  Every emitted
+:class:`~repro.core.plan.WashPlan` is replayed through the
+:class:`~repro.sim.executor.ScheduleExecutor` and cross-checked
+structurally, failing loudly on:
+
+* **resource conflicts** — two tasks overlapping on a chip node,
+* **execution anomalies** — any :class:`~repro.sim.events.SimEventKind`
+  anomaly (cross-contamination, missing inputs/content, wrong ports,
+  leftover content) raised while executing the schedule operationally,
+* **dropped tasks** — a baseline task absent from the final schedule that
+  no wash absorbed (ψ-integration is the only legal removal).
+
+This is the safety net under the solver degradation ladder: a plan built
+by a lower rung (branch-and-bound, greedy assembly) passes exactly the
+same gauntlet as an optimal one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.plan import WashPlan
+from repro.errors import WashError
+from repro.sim.executor import ScheduleExecutor
+from repro.synth.synthesis import SynthesisResult
+
+
+class PlanValidationError(WashError):
+    """A wash plan failed independent validation.
+
+    ``problems`` lists every violation found, not just the first.
+    """
+
+    def __init__(self, method: str, problems: List[str]):
+        self.problems = list(problems)
+        shown = "; ".join(self.problems[:5])
+        more = f" (+{len(self.problems) - 5} more)" if len(self.problems) > 5 else ""
+        super().__init__(f"{method} plan failed validation: {shown}{more}")
+
+
+def validation_problems(plan: WashPlan, synthesis: SynthesisResult) -> List[str]:
+    """All validation violations of ``plan``; empty when the plan is sound."""
+    problems: List[str] = []
+
+    for conflict in plan.schedule.conflicts()[:10]:
+        problems.append(f"resource conflict: {conflict}")
+
+    absorbed = {rm for w in plan.washes for rm in w.absorbed_removals}
+    scheduled = {t.id for t in plan.schedule.tasks()}
+    for task in plan.baseline_schedule.tasks():
+        if task.id not in scheduled and task.id not in absorbed:
+            problems.append(f"baseline task {task.id!r} dropped without absorption")
+
+    report = ScheduleExecutor(synthesis, plan.schedule).run()
+    for event in report.anomalies[:10]:
+        problems.append(
+            f"{event.kind.value} at t={event.time} ({event.task_id}): {event.detail}"
+        )
+    return problems
+
+
+def validate_plan(plan: WashPlan, synthesis: SynthesisResult) -> None:
+    """Raise :class:`PlanValidationError` unless ``plan`` replays cleanly."""
+    problems = validation_problems(plan, synthesis)
+    if problems:
+        raise PlanValidationError(plan.method, problems)

@@ -53,6 +53,25 @@ def demo_assay() -> SequencingGraph:
     return build_demo_assay()
 
 
+@pytest.fixture
+def solver_fault(monkeypatch):
+    """Arm a solver fault for the duration of one test.
+
+    Usage: ``solver_fault("crash")`` — sets ``REPRO_INJECT_SOLVER_FAULT``
+    and rewinds the deterministic flaky stream so tests are reproducible.
+    """
+    from repro.ilp import faults
+
+    def arm(kind: str, seed: str | None = None):
+        monkeypatch.setenv(faults.ENV_FAULT, kind)
+        if seed is not None:
+            monkeypatch.setenv(faults.ENV_SEED, seed)
+        faults.reset()
+
+    yield arm
+    faults.reset()
+
+
 @pytest.fixture(scope="session")
 def demo_synthesis():
     return synthesize(build_demo_assay())

@@ -1,0 +1,104 @@
+"""End-to-end solver resilience: faults, forced rungs, validation.
+
+The acceptance bar for the degradation ladder: with a fault injected into
+every HiGHS attempt, a full PDW run must still complete through a lower
+rung, the produced plan must replay cleanly through the independent
+:mod:`repro.sim.validate` gauntlet, and the degraded rung must be visible
+in the run report and the CLI output.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core import PDWConfig, optimize_washes
+from repro.errors import InfeasibleError
+from repro.ilp import faults
+from repro.sim.validate import validate_plan, validation_problems
+
+
+CFG = PDWConfig(time_limit_s=30.0)
+
+
+class TestFaultedRunsComplete:
+    @pytest.mark.parametrize("kind", ["crash", "timeout", "no_incumbent"])
+    def test_pdw_completes_via_lower_rung(self, demo_synthesis, solver_fault, kind):
+        solver_fault(kind)
+        plan = optimize_washes(demo_synthesis, CFG)
+        assert plan.solver_rung in ("branch_bound", "greedy")
+        assert plan.solver_status in ("optimal", "feasible")
+        # Both HiGHS rungs must be on record as failed attempts.
+        rung_stages = [
+            s for s in plan.report.stage_names() if s.startswith("ilp.rung.")
+        ]
+        assert "ilp.rung.highs" in rung_stages
+        assert "ilp.rung.highs-relaxed" in rung_stages
+        assert validation_problems(plan, demo_synthesis) == []
+
+    def test_faulted_plan_matches_clean_metrics_structure(
+        self, demo_synthesis, solver_fault
+    ):
+        clean = optimize_washes(demo_synthesis, CFG)
+        solver_fault("crash")
+        degraded = optimize_washes(demo_synthesis, CFG)
+        # Same washes are demanded either way; only quality may differ.
+        assert degraded.n_wash >= 1
+        assert set(degraded.metrics()) == set(clean.metrics())
+
+    def test_faulted_outcome_does_not_poison_clean_cache(
+        self, demo_synthesis, solver_fault, tmp_path
+    ):
+        from repro.pipeline import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        solver_fault("crash")
+        degraded = optimize_washes(demo_synthesis, CFG, cache=cache)
+        assert degraded.solver_rung != "highs"
+        faults.reset()
+        import os
+
+        os.environ.pop(faults.ENV_FAULT, None)
+        clean = optimize_washes(demo_synthesis, CFG, cache=cache)
+        assert clean.solver_rung == "highs"
+        assert clean.report.get("ilp").cached is False
+
+
+class TestForcedRungs:
+    def test_forced_branch_bound_validates(self, demo_synthesis, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FORCE, "branch_bound")
+        plan = optimize_washes(demo_synthesis, CFG)
+        assert plan.solver_rung == "branch_bound"
+        validate_plan(plan, demo_synthesis)
+
+    def test_config_greedy_skips_the_ilp(self, demo_synthesis):
+        plan = optimize_washes(demo_synthesis, PDWConfig(time_limit_s=30.0, solver="greedy"))
+        assert plan.solver_rung == "greedy"
+        assert plan.solver_status == "feasible"
+        validate_plan(plan, demo_synthesis)
+
+
+class TestCliResilience:
+    def test_run_under_crash_fault_shows_degraded_rung(self, solver_fault, capsys):
+        solver_fault("crash")
+        assert main(["run", "PCR", "--time-limit", "30", "--stats", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "via branch_bound" in out or "via greedy" in out
+        assert "ilp.rung.highs" in out  # failed attempts shown in --stats
+
+    def test_run_with_forced_solver_flag(self, capsys):
+        assert main(
+            ["run", "PCR", "--time-limit", "30", "--solver", "branch_bound",
+             "--no-cache"]
+        ) == 0
+        assert "via branch_bound" in capsys.readouterr().out
+
+    def test_infeasible_ilp_is_a_clean_cli_error(self, monkeypatch, capsys):
+        from repro.core import schedule_ilp
+
+        def explode(self, portfolio=None):
+            raise InfeasibleError("PDW scheduling ILP is infeasible (forced)")
+
+        monkeypatch.setattr(schedule_ilp.WashScheduleIlp, "solve", explode)
+        assert main(["run", "PCR", "--time-limit", "30", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("pdw: error:")
+        assert "infeasible" in err

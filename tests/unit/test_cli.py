@@ -96,10 +96,11 @@ class TestCliAssay:
         assert main(["assay", str(path), "--time-limit", "30"]) == 0
         assert "n_wash:" in capsys.readouterr().out
 
-    def test_malformed_file_raises_assay_error(self, tmp_path):
-        from repro.errors import AssayError
-
+    def test_malformed_file_exits_cleanly(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"nope": 1}))
-        with pytest.raises(AssayError):
-            main(["assay", str(path)])
+        # Library errors surface as a one-line message + exit 2, never a
+        # traceback.
+        assert main(["assay", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("pdw: error:")

@@ -81,3 +81,30 @@ class TestBranchAndBound:
         sol = tight.solve(m)
         # With one node it cannot prove optimality.
         assert sol.status is not SolveStatus.OPTIMAL
+
+
+class TestBestEffortStatuses:
+    def _fractional_binary_model(self) -> Model:
+        m = Model()
+        x = m.add_binary_var("x")
+        y = m.add_binary_var("y")
+        m.add_constr(2 * x + 2 * y <= 3)  # LP optimum x + y = 1.5
+        m.set_objective(x + y, sense="max")
+        return m
+
+    def test_incumbent_on_node_limit_is_feasible(self):
+        # Two nodes: the fractional root, then one integral child — an
+        # incumbent exists but open nodes remain, so the result is a
+        # best-effort FEASIBLE, not OPTIMAL and not an error.
+        tight = BranchAndBoundSolver(time_limit_s=20.0, max_nodes=2)
+        sol = tight.solve(self._fractional_binary_model())
+        assert sol.status is SolveStatus.FEASIBLE
+        assert sol.status.has_solution
+        assert sol.objective == pytest.approx(1.0)
+
+    def test_timeout_without_incumbent_is_error(self):
+        expired = BranchAndBoundSolver(time_limit_s=0.0)
+        sol = expired.solve(self._fractional_binary_model())
+        assert sol.status is SolveStatus.ERROR
+        assert not sol.status.has_solution
+        assert "no incumbent" in sol.message

@@ -1,5 +1,6 @@
 """Unit tests for the HiGHS backend."""
 
+import numpy as np
 import pytest
 
 from repro.ilp import LinExpr, Model, SolveStatus
@@ -69,6 +70,48 @@ class TestStatuses:
         assert SolveStatus.FEASIBLE.has_solution
         assert not SolveStatus.UNBOUNDED.has_solution
         assert not SolveStatus.ERROR.has_solution
+
+
+class _FakeMilpResult:
+    def __init__(self, status, x, mip_gap=None, message="fake"):
+        self.status = status
+        self.x = x
+        self.mip_gap = mip_gap
+        self.message = message
+
+
+class TestBrokenBackendResults:
+    """Degenerate backend results must become ERROR, never silent repairs."""
+
+    def _solve_with_fake(self, monkeypatch, result):
+        import repro.ilp.solver as solver_mod
+
+        monkeypatch.setattr(solver_mod, "milp", lambda **kwargs: result)
+        m = Model()
+        m.add_integer_var("x", 0, 10)
+        m.set_objective(LinExpr({}, 0.0))
+        return m.solve()
+
+    def test_fractional_integral_value_downgraded_to_error(self, monkeypatch):
+        sol = self._solve_with_fake(
+            monkeypatch, _FakeMilpResult(status=0, x=np.array([0.49]))
+        )
+        assert sol.status is SolveStatus.ERROR
+        assert "integrality violated" in sol.message
+        assert sol.values == {}
+
+    def test_rounding_noise_within_tolerance_accepted(self, monkeypatch):
+        sol = self._solve_with_fake(
+            monkeypatch, _FakeMilpResult(status=0, x=np.array([2.9999999995]))
+        )
+        assert sol.status is SolveStatus.OPTIMAL
+        assert list(sol.values.values()) == [3.0]
+
+    def test_limit_without_incumbent_is_error(self, monkeypatch):
+        # HiGHS reports status 1 (limit) but delivers no point at all.
+        sol = self._solve_with_fake(monkeypatch, _FakeMilpResult(status=1, x=None))
+        assert sol.status is SolveStatus.ERROR
+        assert not sol.status.has_solution
 
 
 class TestSolutionObject:

@@ -4,7 +4,13 @@ import pytest
 
 from repro.arch import figure2_chip
 from repro.contam.events import WashRequirement
-from repro.core.targets import WashCluster, cluster_requirements, merge_by_blocker
+from repro.core.targets import (
+    WashCluster,
+    _coverable,
+    cluster_requirements,
+    merge_by_blocker,
+)
+from repro.errors import RoutingError
 
 
 def req(node, source="t1", blocker="t9", t_c=2, deadline=10, fluid="dye"):
@@ -84,6 +90,49 @@ class TestClusterRequirements:
 
     def test_no_requirements_no_clusters(self, chip):
         assert cluster_requirements(chip, []) == []
+
+
+class _StubRouter:
+    """Duck-typed router returning a scripted candidate list."""
+
+    def __init__(self, candidates):
+        self.candidates = candidates
+        self.calls = []
+
+    def port_to_port_candidates(self, targets, max_candidates=8):
+        self.calls.append(max_candidates)
+        if isinstance(self.candidates, Exception):
+            raise self.candidates
+        return self.candidates[:max_candidates]
+
+
+class TestCoverable:
+    NON_SIMPLE = ("p1", "a", "b", "a", "p2")  # revisits 'a'
+    SIMPLE = ("p1", "a", "b", "c", "p2")
+
+    def test_first_simple_candidate_returned(self):
+        router = _StubRouter([self.SIMPLE, self.NON_SIMPLE])
+        assert _coverable(router, ["a", "b"], max_candidates=2) == self.SIMPLE
+
+    def test_later_candidates_are_tried(self):
+        # Regression: only candidate [0] used to be inspected, so a simple
+        # second candidate was ignored and the merge wrongly rejected.
+        router = _StubRouter([self.NON_SIMPLE, self.SIMPLE])
+        assert _coverable(router, ["a", "b"], max_candidates=2) == self.SIMPLE
+        assert router.calls == [2]
+
+    def test_all_non_simple_returns_none(self):
+        router = _StubRouter([self.NON_SIMPLE, self.NON_SIMPLE])
+        assert _coverable(router, ["a", "b"], max_candidates=2) is None
+
+    def test_max_candidates_bounds_the_search(self):
+        # The simple path sits beyond the candidate cap, so it stays unseen.
+        router = _StubRouter([self.NON_SIMPLE, self.SIMPLE])
+        assert _coverable(router, ["a", "b"], max_candidates=1) is None
+
+    def test_routing_error_returns_none(self):
+        router = _StubRouter(RoutingError("unreachable"))
+        assert _coverable(router, ["a", "b"], max_candidates=3) is None
 
 
 class TestMergeByBlocker:
