@@ -5,12 +5,20 @@ Subcommands::
     pdw run <benchmark> [--method pdw|dawo|immediate] [--gantt] [--chip]
             [--stats] [--no-cache]
     pdw list
-    pdw report {table2,fig4,fig5,ablation,necessity,pareto,timings,all}
+    pdw report {table2,fig4,fig5,ablation,necessity,pareto,timings,
+                failures,all}
+    pdw suite [benchmark ...] [--timeout S] [--retries N] [--resume]
+              [--max-rss MB]                 # supervised, fault-tolerant runs
     pdw assay <file.json> [--method ...]     # optimize a user assay
     pdw cost <benchmark>                     # chip cost + plan comparison
     pdw simulate <benchmark> [--method ...]  # discrete-event execution log
     pdw export <benchmark> --what plan|actuation|svg [--out FILE]
-    pdw cache {info,clear}                   # on-disk artifact cache
+    pdw cache {info,clear,verify,gc}         # on-disk artifact cache
+
+Exit codes: 0 success; 1 simulation broken / corrupt cache entries found;
+2 a :class:`~repro.errors.ReproError` (clean one-line message on stderr);
+3 ``pdw suite`` completed but lost at least one benchmark (partial
+success — see ``pdw report failures``).
 """
 
 from __future__ import annotations
@@ -97,13 +105,44 @@ def main(argv: list[str] | None = None) -> int:
         "name",
         choices=(
             "table2", "fig4", "fig5", "ablation", "necessity", "pareto",
-            "timings", "all",
+            "timings", "failures", "all",
         ),
     )
     p_report.add_argument("--time-limit", type=float, default=120.0)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
-    p_cache.add_argument("action", choices=("info", "clear"))
+    p_suite = sub.add_parser(
+        "suite", help="run benchmarks under the fault-tolerant supervisor"
+    )
+    p_suite.add_argument(
+        "benchmarks", nargs="*", choices=list(BENCHMARKS), default=[],
+        help="benchmarks to run (default: the full suite)",
+    )
+    p_suite.add_argument("--time-limit", type=float, default=120.0)
+    p_suite.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-benchmark wall-clock budget in seconds",
+    )
+    p_suite.add_argument(
+        "--retries", type=int, default=0,
+        help="retry crashed/timed-out benchmarks up to N times",
+    )
+    p_suite.add_argument(
+        "--resume", action="store_true",
+        help="skip benchmarks the run journal already records as succeeded",
+    )
+    p_suite.add_argument(
+        "--max-rss", type=float, default=None, metavar="MB",
+        help="best-effort per-run address-space cap in MiB",
+    )
+    p_suite.add_argument("--workers", type=int, default=None)
+    p_suite.add_argument("--no-cache", action="store_true")
+
+    p_cache = sub.add_parser("cache", help="inspect, verify, or clear the artifact cache")
+    p_cache.add_argument("action", choices=("info", "clear", "verify", "gc"))
+    p_cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="gc: evict oldest entries until the cache fits this many bytes",
+    )
 
     p_cost = sub.add_parser("cost", help="chip cost report + plan comparison")
     p_cost.add_argument("benchmark", choices=list(BENCHMARKS))
@@ -142,10 +181,18 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "report":
+        if args.name == "failures":
+            from repro.experiments.supervisor import failures_report
+
+            print(failures_report())
+            return 0
         return experiments_main([args.name, "--time-limit", str(args.time_limit)])
 
+    if args.command == "suite":
+        return _run_suite_cmd(args)
+
     if args.command == "cache":
-        return _run_cache(args.action)
+        return _run_cache(args.action, getattr(args, "max_bytes", None))
 
     config = PDWConfig(
         time_limit_s=args.time_limit, solver=getattr(args, "solver", "auto")
@@ -176,7 +223,48 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_cache(action: str) -> int:
+def _run_suite_cmd(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import FailureRecord, run_suite
+    from repro.experiments.supervisor import RunBudget, SuiteSupervisor
+
+    config = PDWConfig(time_limit_s=args.time_limit)
+    budget = RunBudget(
+        timeout_s=args.timeout,
+        max_rss_bytes=int(args.max_rss * 2**20) if args.max_rss else None,
+        retries=max(0, args.retries),
+    )
+    cache = None if args.no_cache else default_cache()
+    supervisor = SuiteSupervisor(
+        budget=budget,
+        cache=cache,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        resume=args.resume,
+    )
+    result = run_suite(
+        args.benchmarks or None, config, cache=cache, supervisor=supervisor
+    )
+    for entry in result:
+        if isinstance(entry, FailureRecord):
+            print(
+                f"{entry.name:15s} {entry.label}  "
+                f"attempts={entry.attempts}  {entry.message}"
+            )
+        else:
+            origin = "journal" if entry.name in result.resumed else (
+                "cache" if entry.from_cache else "run"
+            )
+            print(
+                f"{entry.name:15s} OK ({origin})  "
+                f"wall={entry.wall_time_s:.2f}s  "
+                f"T_assay pdw={entry.pdw.metrics()['t_assay_s']:g}s"
+            )
+    ok = len(result.runs)
+    print(f"{ok}/{len(result)} benchmarks succeeded; journal: {result.journal_path}")
+    return 0 if not result.failures else 3
+
+
+def _run_cache(action: str, max_bytes: int | None = None) -> int:
     cache = default_cache()
     if cache is None:
         print("artifact cache disabled (REPRO_CACHE=off)")
@@ -184,6 +272,14 @@ def _run_cache(action: str) -> int:
     if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} artifacts from {cache.root}")
+        return 0
+    if action == "verify":
+        report = cache.verify()
+        print(report.render())
+        return 1 if report.quarantined else 0
+    if action == "gc":
+        removed, freed = cache.gc(max_bytes)
+        print(f"evicted {removed} artifacts ({freed} bytes) from {cache.root}")
         return 0
     count, total = cache.stats()
     print(f"cache dir:   {default_cache_dir()}")

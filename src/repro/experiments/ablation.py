@@ -24,7 +24,9 @@ from repro.bench import benchmark, load_benchmark
 from repro.contam import ContaminationTracker, NecessityPolicy
 from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
+from repro.errors import ReproError
 from repro.experiments.reporting import render_table
+from repro.pipeline import chaos
 from repro.synth import synthesize
 
 #: Default benchmarks for the ablation sweep (small + medium + large).
@@ -73,19 +75,20 @@ def run_ablation(
     key = (bench_name, cfg)
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    spec = benchmark(bench_name)
-    synthesis = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
-    # One contamination replay shared across every variant (the replay
-    # depends only on the synthesis, not on the variant's config).
-    tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
-    plans: Dict[str, WashPlan] = {}
-    for variant in VARIANTS:
-        if variant.name == "eager":
-            plans[variant.name] = immediate_wash_plan(synthesis, tracker=tracker)
-        else:
-            plans[variant.name] = optimize_washes(
-                synthesis, _variant_config(variant.name, cfg), tracker=tracker
-            )
+    with chaos.scope(bench_name):
+        spec = benchmark(bench_name)
+        synthesis = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
+        # One contamination replay shared across every variant (the replay
+        # depends only on the synthesis, not on the variant's config).
+        tracker = ContaminationTracker(synthesis.chip, synthesis.schedule)
+        plans: Dict[str, WashPlan] = {}
+        for variant in VARIANTS:
+            if variant.name == "eager":
+                plans[variant.name] = immediate_wash_plan(synthesis, tracker=tracker)
+            else:
+                plans[variant.name] = optimize_washes(
+                    synthesis, _variant_config(variant.name, cfg), tracker=tracker
+                )
     if use_cache:
         _CACHE[key] = plans
     return plans
@@ -95,12 +98,25 @@ def ablation_report(
     names: Optional[Sequence[str]] = None,
     base: Optional[PDWConfig] = None,
 ) -> str:
-    """Render the ablation sweep as text."""
+    """Render the ablation sweep as text.
+
+    A benchmark whose sweep fails with a
+    :class:`~repro.errors.ReproError` (including injected stage faults)
+    renders as a single ``FAILED(kind)`` row instead of aborting the
+    remaining benchmarks.
+    """
     bench_names = list(names or DEFAULT_ABLATION_BENCHMARKS)
     headers = ["Benchmark", "Variant", "N_wash", "L_wash(mm)", "T_delay(s)", "T_assay(s)", "ψ"]
     rows: List[List[str]] = []
     for bench_name in bench_names:
-        plans = run_ablation(bench_name, base)
+        try:
+            plans = run_ablation(bench_name, base)
+        except chaos.InjectedFault:
+            rows.append([bench_name, "-", "FAILED(crash)", "-", "-", "-", "-"])
+            continue
+        except ReproError:
+            rows.append([bench_name, "-", "FAILED(error)", "-", "-", "-", "-"])
+            continue
         for variant in VARIANTS:
             plan = plans[variant.name]
             m = plan.metrics()

@@ -25,12 +25,20 @@ def fig5_report(
     names: Optional[Sequence[str]] = None,
     config: Optional[PDWConfig] = None,
 ) -> str:
-    """Render the Fig. 5 reproduction as a text bar chart."""
-    runs = run_suite(names, config)
+    """Render the Fig. 5 reproduction as a text bar chart.
+
+    Failed benchmarks are listed below the chart as ``FAILED(kind)``
+    instead of aborting the figure.
+    """
+    result = run_suite(names, config)
+    runs = result.runs
     series = fig5_series(runs)
-    return render_series(
+    text = render_series(
         "Fig. 5: Total wash time",
         [run.name for run in runs],
         list(series.items()),
         unit="s",
     )
+    for failure in result.failures:
+        text += f"  {failure.name}: {failure.label} — excluded from the chart\n"
+    return text

@@ -19,7 +19,13 @@ to both DAWO and PDW (their plans record the stage as ``shared``).
 :func:`run_suite` can fan benchmarks out across workers with
 :mod:`concurrent.futures` (``workers=`` / ``$REPRO_SUITE_WORKERS``;
 threads by default, ``executor="process"`` for CPU-bound parallelism on
-multi-core machines).
+multi-core machines) and never aborts mid-suite: a benchmark that fails
+with a :class:`~repro.errors.ReproError` (including injected stage
+faults) becomes a :class:`FailureRecord` in the returned
+:class:`SuiteResult` and the remaining benchmarks still run.  For
+process isolation, per-run budgets, retries and resumable journals, pass
+a :class:`~repro.experiments.supervisor.SuiteSupervisor` as
+``supervisor=`` (what ``pdw suite`` does).
 """
 
 from __future__ import annotations
@@ -27,9 +33,10 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.assay.io import graph_to_dict
 from repro.baselines import dawo_plan
@@ -37,11 +44,13 @@ from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
 from repro.core.stages import REPLAY_STAGE, PDWContext
+from repro.errors import ReproError
 from repro.ilp import faults
 from repro.pipeline import (
     ArtifactCache,
     PipelineRun,
     RunReport,
+    chaos,
     default_cache,
     stable_digest,
 )
@@ -51,6 +60,16 @@ from repro.synth.synthesis import SynthesisResult
 #: Code version of the whole-run artifact; bump when run_benchmark's
 #: composition (not just one stage) changes.
 RUNNER_VERSION = "2"
+
+
+def default_config() -> PDWConfig:
+    """The config used when callers pass ``config=None``.
+
+    A single constructor shared by :func:`run_benchmark` and the suite
+    memo-adoption path — a drift between two inline defaults would
+    silently split the in-process memo.
+    """
+    return PDWConfig(time_limit_s=120.0)
 
 
 @dataclass
@@ -81,8 +100,87 @@ class BenchmarkRun:
         return f"{assay.operation_count}/{self.synthesis.device_count}/{assay.edge_count}"
 
 
+#: Failure kinds recorded by the suite layers, in rough severity order.
+FAILURE_KINDS = ("timeout", "crash", "oom", "error")
+
+
+@dataclass
+class FailureRecord:
+    """A benchmark the suite could not complete.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`: ``timeout`` (wall-clock
+    budget exceeded), ``crash`` (worker died or raised unexpectedly),
+    ``oom`` (memory cap hit) or ``error`` (a deterministic
+    :class:`~repro.errors.ReproError`).
+    """
+
+    name: str
+    kind: str
+    message: str = ""
+    attempts: int = 1
+    wall_time_s: float = 0.0
+
+    @property
+    def label(self) -> str:
+        """The ``FAILED(kind)`` cell the reports render."""
+        return f"FAILED({self.kind})"
+
+
+SuiteEntry = Union[BenchmarkRun, FailureRecord]
+
+
+@dataclass
+class SuiteResult(Sequence):
+    """Per-benchmark outcomes of a suite run, in suite order.
+
+    Sequence over *all* entries (``BenchmarkRun | FailureRecord``) so
+    existing list-style consumers keep working on clean runs; ``runs`` /
+    ``failures`` split them, ``ok`` is true when nothing failed.
+    """
+
+    entries: List[SuiteEntry] = field(default_factory=list)
+    #: Journal file of the supervising run, when one was used.
+    journal_path: Optional[object] = None
+    #: Benchmarks served from the journal + cache without re-execution.
+    resumed: tuple = ()
+
+    @property
+    def runs(self) -> List[BenchmarkRun]:
+        return [e for e in self.entries if isinstance(e, BenchmarkRun)]
+
+    @property
+    def failures(self) -> List[FailureRecord]:
+        return [e for e in self.entries if isinstance(e, FailureRecord)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    def __iter__(self) -> Iterator[SuiteEntry]:
+        return iter(self.entries)
+
+
 _CACHE: Dict[tuple, BenchmarkRun] = {}
 _CACHE_LOCK = threading.Lock()
+
+
+def _memo_key(name: str, config: PDWConfig) -> tuple:
+    return (name, config, faults.environment_token())
+
+
+def adopt_run(run: BenchmarkRun, config: Optional[PDWConfig] = None) -> BenchmarkRun:
+    """Adopt a run computed elsewhere (worker process, journal resume)
+    into this process's memo, preserving object identity for later
+    same-process calls."""
+    cfg = config or default_config()
+    with _CACHE_LOCK:
+        return _CACHE.setdefault(_memo_key(run.name, cfg), run)
 
 
 def _run_digest(name: str, config: PDWConfig) -> str:
@@ -92,6 +190,9 @@ def _run_digest(name: str, config: PDWConfig) -> str:
     definition invalidates its cached runs), the full config, the
     solver-altering environment (fault injection / forced rung — degraded
     runs must never poison the clean cache), and the runner code version.
+    Stage faults (:mod:`repro.pipeline.chaos`) are deliberately *not*
+    included: they prevent artifact production instead of altering it, so
+    a journaled success stays resumable after the fault is disarmed.
     """
     spec = benchmark(name)
     assay = spec.build()
@@ -100,6 +201,11 @@ def _run_digest(name: str, config: PDWConfig) -> str:
         "benchmark-run", RUNNER_VERSION, name, graph_to_dict(assay), inventory,
         config, faults.environment_token(),
     )
+
+
+def run_digest(name: str, config: Optional[PDWConfig] = None) -> str:
+    """Public alias of the whole-run digest (used by the supervisor)."""
+    return _run_digest(name, config or default_config())
 
 
 def run_benchmark(
@@ -113,8 +219,18 @@ def run_benchmark(
     ``cache`` overrides the default on-disk artifact cache; pass
     ``use_cache=False`` to bypass (and not populate) both cache levels.
     """
-    cfg = config or PDWConfig(time_limit_s=120.0)
-    key = (name, cfg, faults.environment_token())
+    cfg = config or default_config()
+    with chaos.scope(name):
+        return _run_benchmark_scoped(name, cfg, use_cache, cache)
+
+
+def _run_benchmark_scoped(
+    name: str,
+    cfg: PDWConfig,
+    use_cache: bool,
+    cache: Optional[ArtifactCache],
+) -> BenchmarkRun:
+    key = _memo_key(name, cfg)
     if use_cache:
         with _CACHE_LOCK:
             hit = _CACHE.get(key)
@@ -175,14 +291,37 @@ def _worker_count(names: Sequence[str], workers: Optional[int]) -> int:
         return max(1, workers)
     env = os.environ.get("REPRO_SUITE_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed REPRO_SUITE_WORKERS={env!r} "
+                "(expected an integer); using the default worker count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(1, min(len(names), os.cpu_count() or 1))
 
 
-def _run_benchmark_task(args: tuple) -> BenchmarkRun:
-    """Top-level worker (picklable for process pools)."""
-    name, config, use_cache = args
-    return run_benchmark(name, config, use_cache)
+def _run_benchmark_task(args: tuple) -> SuiteEntry:
+    """Top-level worker (picklable for process pools).
+
+    Captures per-benchmark :class:`~repro.errors.ReproError` failures —
+    including injected stage faults — as :class:`FailureRecord` entries
+    so one broken benchmark never aborts the rest of the suite.
+    """
+    name, config, use_cache, cache = args
+    started = time.perf_counter()
+    try:
+        return run_benchmark(name, config, use_cache, cache)
+    except chaos.InjectedFault as exc:
+        return FailureRecord(
+            name, "crash", str(exc), wall_time_s=time.perf_counter() - started
+        )
+    except ReproError as exc:
+        return FailureRecord(
+            name, "error", str(exc), wall_time_s=time.perf_counter() - started
+        )
 
 
 def run_suite(
@@ -191,7 +330,9 @@ def run_suite(
     use_cache: bool = True,
     workers: Optional[int] = None,
     executor: str = "thread",
-) -> List[BenchmarkRun]:
+    cache: Optional[ArtifactCache] = None,
+    supervisor: Optional["object"] = None,
+) -> SuiteResult:
     """Run a list of benchmarks (default: the full Table II suite).
 
     ``workers`` (default: ``$REPRO_SUITE_WORKERS`` or one per CPU, capped
@@ -200,35 +341,37 @@ def run_suite(
     ``"thread"`` (shares the in-process memo; best when the disk cache is
     warm or the solver dominates) or ``"process"`` (true CPU parallelism;
     each worker re-imports the library and shares work through the on-disk
-    artifact cache only).
+    artifact cache only).  ``cache`` overrides the default on-disk
+    artifact cache for every benchmark, under both executors.
+
+    ``supervisor`` (a
+    :class:`~repro.experiments.supervisor.SuiteSupervisor`) replaces the
+    executor fan-out entirely: each benchmark then runs in an isolated
+    subprocess under a wall-clock/memory budget with retries and a
+    resumable journal.
     """
     suite = list(names or BENCHMARKS)
+    if supervisor is not None:
+        return supervisor.run(suite, config)
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}")
     n_workers = _worker_count(suite, workers)
+    tasks = [(name, config, use_cache, cache) for name in suite]
     if n_workers <= 1 or len(suite) <= 1:
-        return [run_benchmark(name, config, use_cache) for name in suite]
+        return SuiteResult([_run_benchmark_task(task) for task in tasks])
 
-    tasks = [(name, config, use_cache) for name in suite]
     if executor == "process":
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            runs = list(pool.map(_run_benchmark_task, tasks))
+            entries = list(pool.map(_run_benchmark_task, tasks))
         if use_cache:
             # Adopt the workers' results into this process's memo so later
             # same-process calls return identical objects.
-            with _CACHE_LOCK:
-                for run in runs:
-                    _CACHE.setdefault(
-                        (
-                            run.name,
-                            config or PDWConfig(time_limit_s=120.0),
-                            faults.environment_token(),
-                        ),
-                        run,
-                    )
-        return runs
+            for entry in entries:
+                if isinstance(entry, BenchmarkRun):
+                    adopt_run(entry, config)
+        return SuiteResult(entries)
     with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_run_benchmark_task, tasks))
+        return SuiteResult(list(pool.map(_run_benchmark_task, tasks)))
 
 
 def clear_cache() -> None:

@@ -1,0 +1,494 @@
+"""Fault-tolerant suite execution: isolation, budgets, retries, journals.
+
+:func:`~repro.experiments.runner.run_suite` shares one process (or an
+executor pool) across benchmarks, so a single hang, OOM or hard crash
+takes the whole reproduction down.  The :class:`SuiteSupervisor` runs
+each benchmark in its own subprocess instead:
+
+* **isolation** — a worker that dies (segfault, ``os._exit``, OOM kill)
+  loses only its benchmark; results come back over a pipe, and the
+  shared on-disk artifact cache means a completed worker's artifacts
+  survive it,
+* **budgets** — a per-run wall-clock budget (the worker is killed past
+  it) and a best-effort address-space cap via ``resource.setrlimit``,
+* **classification** — every failure is one of ``timeout`` / ``crash`` /
+  ``oom`` / ``error`` (deterministic :class:`~repro.errors.ReproError`),
+* **retries** — transient kinds (:data:`RETRYABLE_KINDS`) are retried
+  with exponential backoff and deterministic jitter (seeded by
+  ``REPRO_FAULT_SEED`` so chaos tests replay identically),
+* **journal** — every attempt/success/failure is appended to a JSONL
+  run journal under the cache dir; an interrupted or partially failed
+  suite re-run with ``resume=True`` (``pdw suite --resume``) serves
+  journaled successes from the cache without re-executing them.  The
+  journal is append-only and tolerant of a truncated final line (the
+  interruption it exists to survive).
+
+A suite that loses benchmarks completes anyway: the returned
+:class:`~repro.experiments.runner.SuiteResult` carries a
+``BenchmarkRun | FailureRecord`` per benchmark, the experiment reports
+render failed rows as ``FAILED(kind)``, and ``pdw suite`` exits 3.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import PDWConfig
+from repro.errors import ReproError
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import (
+    BenchmarkRun,
+    FailureRecord,
+    SuiteResult,
+    adopt_run,
+    default_config,
+    run_benchmark,
+    run_digest,
+)
+from repro.ilp import faults
+from repro.pipeline import ArtifactCache, chaos, default_cache, default_cache_dir
+
+#: Failure kinds worth retrying: a flaky worker death or a stall can be
+#: transient, while ``error`` (a deterministic ReproError) and ``oom``
+#: (the same allocation will fail again under the same cap) are not.
+RETRYABLE_KINDS = ("crash", "timeout")
+
+#: Journal file name, relative to the cache root.
+JOURNAL_NAME = os.path.join("journal", "suite.jsonl")
+
+#: Prefer fork: workers inherit the warmed interpreter; fall back to
+#: spawn where fork is unavailable (all arguments are picklable).
+_MP = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Per-benchmark execution limits enforced by the supervisor."""
+
+    #: Wall-clock seconds per attempt; the worker is killed past it.
+    timeout_s: Optional[float] = None
+    #: Best-effort address-space cap (``resource.setrlimit``) in bytes.
+    max_rss_bytes: Optional[int] = None
+    #: How many times a transient failure is retried (0 = never).
+    retries: int = 0
+    #: First backoff delay; doubles per retry, jittered, capped below.
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 30.0
+
+
+def default_journal_path(cache: Optional[ArtifactCache] = None) -> Path:
+    """Where the suite journal lives: under the artifact cache directory."""
+    root = cache.root if cache is not None else default_cache_dir()
+    return Path(root) / JOURNAL_NAME
+
+
+def _child_entry(conn, name, config, use_cache, cache, max_rss_bytes) -> None:
+    """Worker subprocess body: run one benchmark, report over the pipe.
+
+    Must stay a module-level function (picklable under spawn).  Failures
+    are classified here when the worker survives long enough to tell;
+    the parent classifies from the exit code otherwise.
+    """
+    try:
+        if max_rss_bytes:
+            try:
+                import resource
+
+                resource.setrlimit(resource.RLIMIT_AS, (max_rss_bytes, max_rss_bytes))
+            except (ImportError, ValueError, OSError):
+                pass  # best-effort: not every platform allows it
+        run = run_benchmark(name, config, use_cache=use_cache, cache=cache)
+        _safe_send(conn, ("ok", run))
+    except MemoryError:
+        _safe_send(conn, ("fail", "oom", "MemoryError while running benchmark"))
+    except chaos.InjectedFault as exc:
+        _safe_send(conn, ("fail", "crash", str(exc)))
+    except ReproError as exc:
+        _safe_send(conn, ("fail", "error", str(exc)))
+    except BaseException as exc:  # noqa: BLE001 — a worker must always report
+        _safe_send(conn, ("fail", "crash", f"{type(exc).__name__}: {exc}"))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _safe_send(conn, payload) -> None:
+    try:
+        conn.send(payload)
+    except (OSError, ValueError):
+        pass  # parent is gone or payload unpicklable; exit code tells the rest
+
+
+@dataclass
+class _Active:
+    """Book-keeping for one in-flight worker."""
+
+    name: str
+    attempt: int
+    proc: object
+    conn: object
+    started: float
+
+
+class SuiteSupervisor:
+    """Runs a benchmark suite with per-run subprocess isolation.
+
+    Parameters
+    ----------
+    budget:
+        Per-benchmark limits and retry policy (default: no limits).
+    cache:
+        Artifact cache shared with the workers; defaults to the process
+        default.  The journal lives under its root.
+    use_cache:
+        Propagated to the workers' :func:`run_benchmark`.
+    workers:
+        How many benchmark subprocesses may run concurrently.
+    resume:
+        Skip benchmarks whose latest journal entry is a success for the
+        *same run digest* (config or code changes invalidate), serving
+        them from the artifact cache without re-execution.
+    journal_path:
+        Override the journal location (default: ``<cache>/journal/suite.jsonl``).
+    """
+
+    def __init__(
+        self,
+        budget: Optional[RunBudget] = None,
+        cache: Optional[ArtifactCache] = None,
+        use_cache: bool = True,
+        workers: Optional[int] = 1,
+        resume: bool = False,
+        journal_path: Optional[Path] = None,
+    ):
+        self.budget = budget or RunBudget()
+        self.cache = cache if cache is not None else (default_cache() if use_cache else None)
+        self.use_cache = use_cache
+        self.workers = max(1, workers or 1)
+        self.resume = resume
+        self.journal_path = (
+            Path(journal_path) if journal_path is not None else default_journal_path(self.cache)
+        )
+
+    # -- journal -----------------------------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        """Append one JSONL record (append-only; one write per event)."""
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"ts": time.time(), **record}
+        with self.journal_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def _journaled_successes(self) -> Dict[str, str]:
+        """Latest terminal outcome per benchmark: ``{name: digest}`` of
+        successes, dropping names whose most recent terminal event is a
+        failure.  Malformed lines (e.g. a write cut short by the very
+        interruption resume exists for) are skipped."""
+        done: Dict[str, str] = {}
+        for record in _read_journal(self.journal_path):
+            event = record.get("event")
+            name = record.get("benchmark")
+            if not name:
+                continue
+            if event == "success":
+                done[name] = record.get("digest", "")
+            elif event == "failure":
+                done.pop(name, None)
+        return done
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self, names: Sequence[str], config: Optional[PDWConfig] = None
+    ) -> SuiteResult:
+        """Run the suite; never raises for a single benchmark's failure."""
+        suite = list(names)
+        cfg = config or default_config()
+        digests = {name: run_digest(name, cfg) for name in suite}
+        results: Dict[str, object] = {}
+        resumed: List[str] = []
+
+        if self.resume:
+            done = self._journaled_successes()
+            for name in suite:
+                if done.get(name) != digests[name]:
+                    continue
+                cached = self._load_journaled(name, cfg, digests[name])
+                if cached is not None:
+                    results[name] = cached
+                    resumed.append(name)
+
+        pending: deque = deque(
+            (name, 1) for name in suite if name not in results
+        )
+        backoffs: List[Tuple[float, str, int]] = []  # (ready_at, name, attempt)
+        active: Dict[str, _Active] = {}
+
+        while pending or backoffs or active:
+            now = time.monotonic()
+            ready = [item for item in backoffs if item[0] <= now]
+            for item in ready:
+                backoffs.remove(item)
+                pending.append((item[1], item[2]))
+
+            while pending and len(active) < self.workers:
+                name, attempt = pending.popleft()
+                active[name] = self._launch(name, attempt, cfg, digests[name])
+
+            progressed = self._poll(active, results, backoffs, digests, cfg)
+            if not progressed and (active or backoffs):
+                time.sleep(0.02)
+
+        entries = [results[name] for name in suite]
+        return SuiteResult(
+            entries=entries, journal_path=self.journal_path, resumed=tuple(resumed)
+        )
+
+    def _launch(self, name: str, attempt: int, cfg: PDWConfig, digest: str) -> _Active:
+        self._journal(
+            {
+                "event": "attempt",
+                "benchmark": name,
+                "attempt": attempt,
+                "digest": digest,
+                "chaos": chaos.environment_token() or None,
+            }
+        )
+        parent_conn, child_conn = _MP.Pipe(duplex=False)
+        proc = _MP.Process(
+            target=_child_entry,
+            args=(
+                child_conn,
+                name,
+                cfg,
+                self.use_cache,
+                self.cache,
+                self.budget.max_rss_bytes,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        return _Active(
+            name=name, attempt=attempt, proc=proc, conn=parent_conn,
+            started=time.monotonic(),
+        )
+
+    def _poll(self, active, results, backoffs, digests, cfg) -> bool:
+        """One scheduling pass; returns whether anything finished."""
+        progressed = False
+        for name, act in list(active.items()):
+            wall = time.monotonic() - act.started
+            outcome: Optional[tuple] = None
+            if act.conn.poll(0):
+                try:
+                    outcome = act.conn.recv()
+                except (EOFError, OSError):
+                    outcome = None  # died mid-send: classify from exit code
+            if outcome is None and act.proc.is_alive():
+                if self.budget.timeout_s is not None and wall > self.budget.timeout_s:
+                    _terminate(act.proc)
+                    outcome = (
+                        "fail",
+                        "timeout",
+                        f"exceeded wall-clock budget of {self.budget.timeout_s:g}s",
+                    )
+                else:
+                    continue  # still running within budget
+            if outcome is None:
+                # Worker exited without reporting: hard crash or OOM kill.
+                code = act.proc.exitcode
+                kind = "crash"
+                if (
+                    code is not None
+                    and code < 0
+                    and -code == signal.SIGKILL
+                    and self.budget.max_rss_bytes
+                ):
+                    kind = "oom"
+                outcome = (
+                    "fail", kind,
+                    f"worker exited with code {code} before reporting a result",
+                )
+            self._finish(act, outcome, wall, results, backoffs, digests, cfg)
+            del active[name]
+            progressed = True
+        return progressed
+
+    def _finish(
+        self, act: _Active, outcome, wall, results, backoffs, digests, cfg
+    ) -> None:
+        _reap(act.proc)
+        try:
+            act.conn.close()
+        except OSError:
+            pass
+        name = act.name
+        if outcome[0] == "ok":
+            run = adopt_run(outcome[1], cfg)
+            results[name] = run
+            self._journal(
+                {
+                    "event": "success",
+                    "benchmark": name,
+                    "attempt": act.attempt,
+                    "digest": digests[name],
+                    "wall_s": round(wall, 3),
+                    "from_cache": run.from_cache,
+                }
+            )
+            return
+        _, kind, message = outcome
+        if kind in RETRYABLE_KINDS and act.attempt <= self.budget.retries:
+            delay = self._backoff(name, act.attempt)
+            self._journal(
+                {
+                    "event": "retry",
+                    "benchmark": name,
+                    "attempt": act.attempt,
+                    "kind": kind,
+                    "message": message,
+                    "backoff_s": round(delay, 3),
+                }
+            )
+            backoffs.append((time.monotonic() + delay, name, act.attempt + 1))
+            return
+        results[name] = FailureRecord(
+            name=name, kind=kind, message=message,
+            attempts=act.attempt, wall_time_s=wall,
+        )
+        self._journal(
+            {
+                "event": "failure",
+                "benchmark": name,
+                "attempt": act.attempt,
+                "digest": digests[name],
+                "kind": kind,
+                "message": message,
+                "wall_s": round(wall, 3),
+            }
+        )
+
+    def _backoff(self, name: str, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter (seeded stream)."""
+        base = self.budget.backoff_base_s * (2 ** (attempt - 1))
+        seed = os.environ.get(faults.ENV_SEED, "0")
+        jitter = random.Random(f"{seed}:{name}:{attempt}").random()
+        return min(self.budget.backoff_cap_s, base * (1.0 + jitter))
+
+    def _load_journaled(
+        self, name: str, cfg: PDWConfig, digest: str
+    ) -> Optional[BenchmarkRun]:
+        """Serve a journaled success from the artifact cache, if intact.
+
+        A quarantined or evicted entry returns ``None`` and the benchmark
+        is re-run under supervision — resume degrades to re-execution,
+        never to a wrong answer.
+        """
+        if self.cache is None or not self.use_cache:
+            return None
+        stored = self.cache.get(digest)
+        if not isinstance(stored, BenchmarkRun):
+            return None
+        stored.from_cache = True
+        return adopt_run(stored, cfg)
+
+
+def _terminate(proc) -> None:
+    try:
+        proc.kill()
+    except (OSError, AttributeError):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+
+
+def _reap(proc) -> None:
+    proc.join(timeout=5.0)
+    if proc.is_alive():
+        _terminate(proc)
+        proc.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# journal reporting (``pdw report failures``)
+# ---------------------------------------------------------------------------
+
+def _read_journal(path: Path) -> List[dict]:
+    """Parsed journal records, skipping malformed (truncated) lines."""
+    records: List[dict] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def failures_report(journal_path: Optional[Path] = None) -> str:
+    """Render the suite journal's failure history as text."""
+    path = Path(journal_path) if journal_path is not None else default_journal_path(
+        default_cache()
+    )
+    records = _read_journal(path)
+    if not records:
+        return f"no suite journal at {path}\n"
+
+    headers = ["When (UTC)", "Benchmark", "Event", "Kind", "Attempt", "Message"]
+    rows: List[List[str]] = []
+    last_outcome: Dict[str, str] = {}
+    for record in records:
+        event = record.get("event")
+        name = str(record.get("benchmark", "?"))
+        if event == "success":
+            last_outcome[name] = "ok"
+            continue
+        if event not in ("failure", "retry"):
+            continue
+        if event == "failure":
+            last_outcome[name] = f"FAILED({record.get('kind', '?')})"
+        when = datetime.fromtimestamp(
+            float(record.get("ts", 0.0)), tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M:%S")
+        message = str(record.get("message", ""))
+        if len(message) > 60:
+            message = message[:57] + "..."
+        rows.append(
+            [
+                when, name, str(event), str(record.get("kind", "-")),
+                str(record.get("attempt", "-")), message,
+            ]
+        )
+
+    title = f"Suite failure journal ({path})\n"
+    if not rows:
+        return title + "no failures on record\n"
+    text = title + render_table(headers, rows)
+    text += "\nlatest outcome per benchmark:\n"
+    for name in sorted(last_outcome):
+        text += f"  {name}: {last_outcome[name]}\n"
+    return text

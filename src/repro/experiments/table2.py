@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.bench import benchmark
 from repro.core import PDWConfig
 from repro.experiments.reporting import pct, render_table
-from repro.experiments.runner import BenchmarkRun, run_suite
+from repro.experiments.runner import BenchmarkRun, FailureRecord, run_suite
 
 #: (metric key, display name, paper row index in the PaperRow tuples)
 METRICS: Tuple[Tuple[str, str, int], ...] = (
@@ -64,16 +64,29 @@ def table2_report(
     names: Optional[Sequence[str]] = None,
     config: Optional[PDWConfig] = None,
 ) -> str:
-    """Render the Table II reproduction as text."""
-    runs = run_suite(names, config)
-    rows = table2_rows(runs)
+    """Render the Table II reproduction as text.
+
+    Benchmarks the suite lost (see
+    :class:`~repro.experiments.runner.FailureRecord`) render as
+    ``FAILED(kind)`` rows instead of aborting the table; the averages
+    cover the completed rows only.
+    """
+    result = run_suite(names, config)
+    by_name = {row.name: row for row in table2_rows(result.runs)}
 
     headers = ["Benchmark", "|O|/|D|/|E|"]
     for _, display, _ in METRICS:
         headers += [f"{display} DAWO", "PDW", "Im(%)", "paper Im(%)"]
 
     body: List[List[str]] = []
-    for row in rows:
+    for entry in result:
+        if isinstance(entry, FailureRecord):
+            cells = [entry.name, "-"]
+            for i, _ in enumerate(METRICS):
+                cells += [entry.label if i == 0 else "-", "-", "-", "-"]
+            body.append(cells)
+            continue
+        row = by_name[entry.name]
         cells = [row.name, row.sizes]
         for key, _, _ in METRICS:
             cells += [
@@ -84,12 +97,20 @@ def table2_report(
             ]
         body.append(cells)
 
-    avg = ["Average", "-"]
-    for key, _, _ in METRICS:
-        measured = sum(r.improvements[key] for r in rows) / len(rows)
-        paper = sum(r.paper_improvements[key] for r in rows) / len(rows)
-        avg += ["-", "-", pct(measured), pct(paper)]
-    body.append(avg)
+    rows = list(by_name.values())
+    if rows:
+        avg = ["Average", "-"]
+        for key, _, _ in METRICS:
+            measured = sum(r.improvements[key] for r in rows) / len(rows)
+            paper = sum(r.paper_improvements[key] for r in rows) / len(rows)
+            avg += ["-", "-", pct(measured), pct(paper)]
+        body.append(avg)
 
     title = "Table II: PathDriver-Wash (PDW) vs DAWO — wash optimization\n"
-    return title + render_table(headers, body)
+    text = title + render_table(headers, body)
+    if result.failures:
+        text += (
+            f"({len(result.failures)} of {len(result)} benchmarks failed; "
+            "averages cover completed rows — see `pdw report failures`)\n"
+        )
+    return text

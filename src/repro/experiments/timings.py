@@ -79,8 +79,13 @@ def timings_report(
     names: Optional[Sequence[str]] = None,
     config: Optional[PDWConfig] = None,
 ) -> str:
-    """Render per-stage timings + solver statistics for the suite."""
-    runs = run_suite(names, config)
+    """Render per-stage timings + solver statistics for the suite.
+
+    Failed benchmarks are listed below the tables instead of aborting
+    the report.
+    """
+    result = run_suite(names, config)
+    runs = result.runs
 
     stage_headers = ["Benchmark", "wall(s)", "cached"]
     stage_headers.extend(label for _, label in STAGE_COLUMNS)
@@ -93,4 +98,6 @@ def timings_report(
     ]
     text += "\nPDW scheduling-ILP solver statistics\n"
     text += render_table(solver_headers, solver_rows(runs))
+    for failure in result.failures:
+        text += f"  {failure.name}: {failure.label} — excluded from the tables\n"
     return text

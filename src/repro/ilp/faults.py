@@ -28,6 +28,14 @@ stage produces without appearing in :class:`~repro.core.config.PDWConfig`,
 :func:`environment_token` must be folded into every cache key covering a
 solve (stage keys, whole-run digests, in-process memos) so degraded
 outcomes never masquerade as healthy ones.
+
+This module injects faults *inside* the solver only.  The pipeline-wide
+harness — crashing, hanging or corrupting any stage or a cache read, to
+exercise the suite supervisor and the self-verifying cache — is
+:mod:`repro.pipeline.chaos` (``REPRO_INJECT_STAGE_FAULT``).  The two are
+deliberately separate: solver faults alter the produced artifact (hence
+the digest folding above), stage faults only prevent production, so
+chaos is *excluded* from cache keys.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk artifact cache.
+"""Content-addressed, self-verifying on-disk artifact cache.
 
 Every pipeline stage artifact (contamination replay, necessity report, wash
 clusters, candidate path pools, ILP outcomes, whole benchmark runs) is
@@ -10,9 +10,17 @@ implementation changes.  Identical inputs therefore hit the same cache
 entry across processes and sessions, and any input or code change misses
 cleanly instead of serving a stale artifact.
 
-Artifacts are serialized with :mod:`pickle` (they are internal python
-objects, not an interchange format) and written atomically (temp file +
-``os.replace``) so concurrent writers of the same digest are safe.
+Entries are self-verifying: each file carries a small header (magic bytes,
+an entry-format version, and the SHA-256 of the pickled payload) written
+atomically (temp file + ``os.replace``) so concurrent writers of the same
+digest are safe.  :meth:`ArtifactCache.get` verifies the checksum before
+unpickling and **quarantines** — moves to ``quarantine/`` with a logged
+reason, never deletes — any entry with a bad header, mismatched checksum
+or unpicklable payload; the caller sees a plain miss and recomputes.
+:meth:`ArtifactCache.verify` runs the same check over the whole store
+(``pdw cache verify``), and :meth:`ArtifactCache.gc` applies a size bound
+with mtime-ordered (LRU-ish — reads touch the mtime) eviction, configured
+through ``REPRO_CACHE_MAX_BYTES`` (``pdw cache gc``).
 
 The default cache directory is ``$REPRO_CACHE_DIR`` when set, else
 ``~/.cache/repro-pdw``; set ``REPRO_CACHE=off`` to disable disk caching
@@ -24,16 +32,42 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
-from dataclasses import asdict, is_dataclass
+import time
+import warnings
+from dataclasses import asdict, dataclass, field, is_dataclass
 from pathlib import Path
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.pipeline import chaos
 
 #: Global salt for every digest; bump to invalidate all cached artifacts
 #: (e.g. after a serialization-format change).
-CACHE_FORMAT_VERSION = "1"
+CACHE_FORMAT_VERSION = "2"
+
+#: Leading magic bytes of every entry file.
+ENTRY_MAGIC = b"RPDW"
+#: On-disk entry format version (one byte after the magic); bumped together
+#: with :data:`CACHE_FORMAT_VERSION` when the framing changes.
+ENTRY_FORMAT = 2
+#: magic + format byte + SHA-256 of the payload.
+_HEADER_LEN = len(ENTRY_MAGIC) + 1 + 32
+
+#: Subdirectory quarantined entries are moved to (never deleted).
+QUARANTINE_DIR = "quarantine"
+
+#: Environment variable bounding the store size in bytes (optional K/M/G
+#: binary suffix, e.g. ``512M``).
+ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+#: How many :meth:`ArtifactCache.put` calls between opportunistic size
+#: enforcements (a full store walk per put would be wasteful).
+_GC_PUT_INTERVAL = 64
+
+_logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -51,7 +85,8 @@ def _canonical(obj: Any) -> Any:
     if is_dataclass(obj) and not isinstance(obj, type):
         return [type(obj).__name__, _canonical(asdict(obj))]
     if isinstance(obj, dict):
-        return {str(_canonical(k)): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        items = sorted(obj.items(), key=lambda kv: str(kv[0]))
+        return {str(_canonical(k)): _canonical(v) for k, v in items}
     if isinstance(obj, (list, tuple)):
         return [_canonical(item) for item in obj]
     if isinstance(obj, (set, frozenset)):
@@ -110,11 +145,66 @@ def digest_synthesis(synthesis: Any) -> str:
 
 
 # ---------------------------------------------------------------------------
+# size bound
+# ---------------------------------------------------------------------------
+
+def max_cache_bytes() -> Optional[int]:
+    """The ``REPRO_CACHE_MAX_BYTES`` size bound, or ``None`` when unset.
+
+    A malformed value is treated as unset with a warning rather than
+    crashing whatever pipeline happened to touch the cache first.
+    """
+    raw = os.environ.get(ENV_MAX_BYTES, "").strip()
+    if not raw:
+        return None
+    scale = 1
+    text = raw.upper()
+    for suffix, factor in (("K", 2**10), ("M", 2**20), ("G", 2**30)):
+        if text.endswith(suffix):
+            scale, text = factor, text[:-1]
+            break
+    try:
+        value = int(text)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {ENV_MAX_BYTES}={raw!r} (expected an integer "
+            "byte count with an optional K/M/G suffix)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    if value < 0:
+        warnings.warn(
+            f"ignoring negative {ENV_MAX_BYTES}={raw!r}", RuntimeWarning, stacklevel=2
+        )
+        return None
+    return value * scale
+
+
+# ---------------------------------------------------------------------------
 # the store
 # ---------------------------------------------------------------------------
 
+@dataclass
+class VerifyReport:
+    """Outcome of :meth:`ArtifactCache.verify`."""
+
+    checked: int = 0
+    ok: int = 0
+    #: ``(entry file name, reason)`` for every entry quarantined this pass.
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"checked {self.checked} entries: {self.ok} ok, "
+            f"{len(self.quarantined)} quarantined"
+        ]
+        lines.extend(f"  {name}: {reason}" for name, reason in self.quarantined)
+        return "\n".join(lines)
+
+
 class ArtifactCache:
-    """A content-addressed pickle store under one directory.
+    """A content-addressed, self-verifying pickle store under one directory.
 
     Entries are sharded two levels deep (``ab/cdef...pkl``) to keep
     directory listings small under heavy use.
@@ -122,6 +212,7 @@ class ArtifactCache:
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
+        self._puts = 0
 
     # -- core API -----------------------------------------------------------------
 
@@ -131,43 +222,152 @@ class ArtifactCache:
     def get(self, digest: str) -> Optional[Any]:
         """The artifact stored under ``digest``, or ``None`` on a miss.
 
-        A corrupt or unreadable entry (e.g. written by an incompatible
-        code version) is treated as a miss and removed.
+        The payload checksum is verified against the entry header before
+        unpickling; an entry with a bad header, mismatched checksum or
+        unpicklable payload is *quarantined* (moved under ``quarantine/``
+        with a logged reason, never deleted) and reported as a miss so the
+        caller recomputes cleanly.
         """
+        chaos.trip(chaos.CACHE_TARGET)
         path = self._path(digest)
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
+            data = path.read_bytes()
         except FileNotFoundError:
             return None
-        except Exception:
-            path.unlink(missing_ok=True)
+        except OSError:
             return None
+
+        if len(data) < _HEADER_LEN or data[: len(ENTRY_MAGIC)] != ENTRY_MAGIC:
+            self._quarantine(path, "bad-header")
+            return None
+        if data[len(ENTRY_MAGIC)] != ENTRY_FORMAT:
+            self._quarantine(path, f"entry-format-{data[len(ENTRY_MAGIC)]}")
+            return None
+        stored_sum = data[len(ENTRY_MAGIC) + 1 : _HEADER_LEN]
+        payload = data[_HEADER_LEN:]
+        fault = chaos.fault_for(chaos.CACHE_TARGET)
+        if fault is not None and fault.mode == "corrupt":
+            payload = chaos.corrupt_payload(payload)
+        if hashlib.sha256(payload).digest() != stored_sum:
+            self._quarantine(path, "checksum-mismatch")
+            return None
+        try:
+            artifact = pickle.loads(payload)
+        except Exception as exc:
+            self._quarantine(path, f"unpicklable-{type(exc).__name__}")
+            return None
+        # LRU-ish: a hit refreshes the mtime so gc evicts cold entries first.
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        return artifact
 
     def put(self, digest: str, artifact: Any) -> None:
         """Store ``artifact`` under ``digest`` (atomic, last-writer-wins)."""
+        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        header = ENTRY_MAGIC + bytes([ENTRY_FORMAT]) + hashlib.sha256(payload).digest()
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(header)
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
             raise
+        self._puts += 1
+        if self._puts % _GC_PUT_INTERVAL == 0 and max_cache_bytes() is not None:
+            self.gc()
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()
 
+    # -- integrity ---------------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a bad entry under ``quarantine/`` and log why.
+
+        Never deletes: the bytes stay available for postmortems.  Returns
+        the quarantine path, or ``None`` when the move itself failed (e.g.
+        a concurrent reader already moved it).
+        """
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        dest = qdir / f"{path.parent.name}{path.name}"
+        if dest.exists():
+            dest = qdir / f"{path.parent.name}{path.stem}.{int(time.time() * 1e6)}{path.suffix}"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return None
+        record = {
+            "ts": time.time(),
+            "entry": f"{path.parent.name}/{path.name}",
+            "quarantined_as": dest.name,
+            "reason": reason,
+        }
+        with contextlib.suppress(OSError):
+            with (qdir / "log.jsonl").open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        _logger.warning(
+            "quarantined cache entry %s/%s (%s)", path.parent.name, path.name, reason
+        )
+        return dest
+
+    def verify(self) -> VerifyReport:
+        """Check every entry's header and checksum, quarantining bad ones."""
+        report = VerifyReport()
+        for path in list(self.entries()):
+            report.checked += 1
+            reason = self._inspect(path)
+            if reason is None:
+                report.ok += 1
+            else:
+                self._quarantine(path, reason)
+                report.quarantined.append((f"{path.parent.name}/{path.name}", reason))
+        return report
+
+    def _inspect(self, path: Path) -> Optional[str]:
+        """The quarantine reason for a bad entry file, or ``None`` if sound."""
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None  # vanished concurrently; nothing to quarantine
+        if len(data) < _HEADER_LEN or data[: len(ENTRY_MAGIC)] != ENTRY_MAGIC:
+            return "bad-header"
+        if data[len(ENTRY_MAGIC)] != ENTRY_FORMAT:
+            return f"entry-format-{data[len(ENTRY_MAGIC)]}"
+        stored_sum = data[len(ENTRY_MAGIC) + 1 : _HEADER_LEN]
+        payload = data[_HEADER_LEN:]
+        if hashlib.sha256(payload).digest() != stored_sum:
+            return "checksum-mismatch"
+        try:
+            pickle.loads(payload)
+        except Exception as exc:
+            return f"unpicklable-{type(exc).__name__}"
+        return None
+
+    def quarantined(self) -> Iterator[Path]:
+        """All quarantined entry files."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return iter(())
+        return (p for p in qdir.iterdir() if p.suffix == ".pkl")
+
     # -- maintenance ---------------------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
-        """All stored entry files."""
+        """All stored (non-quarantined) entry files."""
         if not self.root.exists():
             return iter(())
-        return self.root.glob("*/*.pkl")
+        return (
+            p for p in self.root.glob("*/*.pkl") if p.parent.name != QUARANTINE_DIR
+        )
 
     def stats(self) -> Tuple[int, int]:
         """(entry count, total bytes) of the store."""
@@ -177,8 +377,39 @@ class ArtifactCache:
             total += path.stat().st_size
         return count, total
 
+    def gc(self, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Evict oldest-mtime entries until the store fits ``max_bytes``.
+
+        ``max_bytes`` defaults to ``$REPRO_CACHE_MAX_BYTES``; with neither
+        set this is a no-op.  Reads refresh mtimes (see :meth:`get`), so
+        eviction is LRU-ish.  Returns ``(entries removed, bytes freed)``.
+        """
+        limit = max_bytes if max_bytes is not None else max_cache_bytes()
+        if limit is None:
+            return 0, 0
+        entries = []
+        total = 0
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        entries.sort(key=lambda item: item[0])
+        removed = freed = 0
+        for _, size, path in entries:
+            if total <= limit:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+                freed += size
+                total -= size
+        return removed, freed
+
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every (non-quarantined) entry; returns how many."""
         removed = 0
         for path in list(self.entries()):
             path.unlink(missing_ok=True)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Optional, Protocol, runtime_checkable
 
+from repro.pipeline import chaos
 from repro.pipeline.cache import ArtifactCache, stable_digest
 from repro.pipeline.report import RunReport
 
@@ -77,6 +78,7 @@ class PipelineRun:
 
     def run_stage(self, stage: Stage, ctx: Any) -> Any:
         """Run one stage against ``ctx`` (cache-first) and record it."""
+        chaos.trip(stage.name)
         started = time.perf_counter()
         digest: Optional[str] = None
         key = stage.key(ctx)
@@ -123,6 +125,7 @@ class PipelineRun:
         detail: str = "",
     ) -> Any:
         """Run an ad-hoc (non-cached, non-Stage) step under instrumentation."""
+        chaos.trip(name)
         started = time.perf_counter()
         artifact = compute()
         self.report.record(

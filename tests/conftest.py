@@ -72,6 +72,25 @@ def solver_fault(monkeypatch):
     faults.reset()
 
 
+@pytest.fixture
+def stage_fault(monkeypatch, tmp_path):
+    """Arm a pipeline-wide stage fault for the duration of one test.
+
+    Usage: ``stage_fault("pathgen:crash")`` — sets
+    ``REPRO_INJECT_STAGE_FAULT`` and points the chaos counter state at a
+    throwaway directory so count-limited faults start fresh per test.
+    """
+    from repro.pipeline import chaos
+
+    def arm(spec: str):
+        monkeypatch.setenv(chaos.ENV_STAGE_FAULT, spec)
+        monkeypatch.setenv(chaos.ENV_STATE_DIR, str(tmp_path / "chaos-state"))
+        chaos.reset()
+
+    yield arm
+    chaos.reset()
+
+
 @pytest.fixture(scope="session")
 def demo_synthesis():
     return synthesize(build_demo_assay())

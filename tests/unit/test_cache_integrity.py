@@ -1,0 +1,174 @@
+"""Self-verifying cache entries: checksums, quarantine, size bound."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.pipeline.cache import (
+    ENTRY_FORMAT,
+    ENTRY_MAGIC,
+    ENV_MAX_BYTES,
+    ArtifactCache,
+    max_cache_bytes,
+    stable_digest,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "store")
+
+
+def _entry_path(cache, digest):
+    return cache._path(digest)
+
+
+class TestEntryFormat:
+    def test_header_framing(self, cache):
+        digest = stable_digest("framing")
+        cache.put(digest, {"k": 1})
+        data = _entry_path(cache, digest).read_bytes()
+        assert data.startswith(ENTRY_MAGIC)
+        assert data[len(ENTRY_MAGIC)] == ENTRY_FORMAT
+        payload = data[len(ENTRY_MAGIC) + 1 + 32:]
+        assert pickle.loads(payload) == {"k": 1}
+
+    def test_roundtrip_verifies(self, cache):
+        digest = stable_digest("roundtrip")
+        cache.put(digest, [1, 2, 3])
+        assert cache.get(digest) == [1, 2, 3]
+        report = cache.verify()
+        assert (report.checked, report.ok, report.quarantined) == (1, 1, [])
+
+
+class TestQuarantine:
+    def test_flipped_byte_quarantines_and_recompute_succeeds(self, cache):
+        digest = stable_digest("bitrot")
+        cache.put(digest, {"answer": 42})
+        path = _entry_path(cache, digest)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        assert cache.get(digest) is None  # miss, not garbage
+        assert not path.exists()
+        quarantined = list(cache.quarantined())
+        assert len(quarantined) == 1
+        # The caller recomputes and the store heals.
+        cache.put(digest, {"answer": 42})
+        assert cache.get(digest) == {"answer": 42}
+
+    def test_bad_magic_quarantines(self, cache):
+        digest = stable_digest("magic")
+        cache.put(digest, 1)
+        path = _entry_path(cache, digest)
+        path.write_bytes(b"XXXX" + path.read_bytes()[4:])
+        assert cache.get(digest) is None
+        assert list(cache.quarantined())
+
+    def test_unknown_entry_format_quarantines(self, cache):
+        digest = stable_digest("format")
+        cache.put(digest, 1)
+        path = _entry_path(cache, digest)
+        data = bytearray(path.read_bytes())
+        data[len(ENTRY_MAGIC)] = 99
+        path.write_bytes(bytes(data))
+        assert cache.get(digest) is None
+
+    def test_quarantine_log_records_reason(self, cache):
+        digest = stable_digest("logged")
+        cache.put(digest, 1)
+        _entry_path(cache, digest).write_bytes(b"junk")
+        cache.get(digest)
+        log = (cache.root / "quarantine" / "log.jsonl").read_text()
+        assert "bad-header" in log
+
+    def test_verify_sweeps_unread_corruption(self, cache):
+        good = stable_digest("good")
+        bad = stable_digest("bad")
+        cache.put(good, "fine")
+        cache.put(bad, "doomed")
+        path = _entry_path(cache, bad)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x01
+        path.write_bytes(bytes(data))
+
+        report = cache.verify()
+        assert report.checked == 2
+        assert report.ok == 1
+        assert len(report.quarantined) == 1
+        assert "checksum-mismatch" in report.render()
+        # The good entry still reads; the store shrank by one.
+        assert cache.get(good) == "fine"
+        assert cache.stats()[0] == 1
+
+    def test_entries_excludes_quarantine_dir(self, cache):
+        digest = stable_digest("excluded")
+        cache.put(digest, 1)
+        _entry_path(cache, digest).write_bytes(b"junk")
+        cache.get(digest)
+        assert list(cache.entries()) == []
+        assert cache.stats() == (0, 0)
+
+
+class TestChaosCorrupt:
+    def test_armed_corrupt_forces_quarantine(self, cache, stage_fault):
+        digest = stable_digest("chaos-corrupt")
+        cache.put(digest, "victim")
+        stage_fault("cache:corrupt")
+        assert cache.get(digest) is None
+        assert list(cache.quarantined())
+
+
+class TestSizeBound:
+    def test_gc_evicts_oldest_mtime_first(self, cache):
+        digests = [stable_digest("gc", i) for i in range(3)]
+        for i, digest in enumerate(digests):
+            cache.put(digest, "x" * 100)
+            os.utime(_entry_path(cache, digest), (1000 + i, 1000 + i))
+        _, total = cache.stats()
+        per_entry = total // 3
+
+        removed, freed = cache.gc(max_bytes=per_entry * 2)
+        assert removed == 1
+        assert freed > 0
+        assert cache.get(digests[0]) is None  # oldest went first
+        assert cache.get(digests[1]) is not None
+        assert cache.get(digests[2]) is not None
+
+    def test_gc_without_limit_is_noop(self, cache, monkeypatch):
+        monkeypatch.delenv(ENV_MAX_BYTES, raising=False)
+        cache.put(stable_digest("keep"), 1)
+        assert cache.gc() == (0, 0)
+
+    def test_get_refreshes_mtime(self, cache):
+        digest = stable_digest("touched")
+        cache.put(digest, 1)
+        path = _entry_path(cache, digest)
+        os.utime(path, (1000, 1000))
+        cache.get(digest)
+        assert path.stat().st_mtime > 1000
+
+
+class TestMaxBytesParsing:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("1024", 1024), ("1K", 1024), ("2M", 2 * 2**20), ("1G", 2**30),
+         ("1k", 1024)],
+    )
+    def test_suffixes(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(ENV_MAX_BYTES, raw)
+        assert max_cache_bytes() == expected
+
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(ENV_MAX_BYTES, raising=False)
+        assert max_cache_bytes() is None
+
+    @pytest.mark.parametrize("raw", ["lots", "12Q", "-5"])
+    def test_malformed_warns_and_disables(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_MAX_BYTES, raw)
+        with pytest.warns(RuntimeWarning):
+            assert max_cache_bytes() is None

@@ -1,0 +1,104 @@
+"""Pipeline-wide fault injection (`repro.pipeline.chaos`)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.pipeline import chaos
+from repro.pipeline.chaos import ChaosError, InjectedFault, StageFault, parse_spec
+
+
+class TestSpecParsing:
+    def test_single_clause(self):
+        (fault,) = parse_spec("pathgen:crash")
+        assert fault == StageFault(stage="pathgen", mode="crash")
+
+    def test_full_grammar(self):
+        faults = parse_spec("pathgen:crash:2@PCR, cache:corrupt ,replay:hang:0.5")
+        assert faults == (
+            StageFault("pathgen", "crash", 2.0, "PCR"),
+            StageFault("cache", "corrupt"),
+            StageFault("replay", "hang", 0.5),
+        )
+
+    def test_exit_code_argument(self):
+        (fault,) = parse_spec("ilp:exit:7")
+        assert fault.mode == "exit"
+        assert fault.arg == 7.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["pathgen", ":crash", "pathgen:explode", "pathgen:crash:soon",
+         "pathgen:hang:-1"],
+    )
+    def test_malformed_clause_raises(self, bad):
+        with pytest.raises(ChaosError):
+            parse_spec(bad)
+
+    def test_empty_spec_is_clean(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_STAGE_FAULT, raising=False)
+        assert chaos.active_faults() == ()
+        assert chaos.environment_token() == ""
+
+
+class TestFiring:
+    def test_crash_raises_injected_fault(self, stage_fault):
+        stage_fault("pathgen:crash")
+        with pytest.raises(InjectedFault):
+            chaos.trip("pathgen")
+        # Other stages stay healthy.
+        chaos.trip("replay")
+
+    def test_injected_fault_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(InjectedFault, ReproError)
+
+    def test_benchmark_scoping(self, stage_fault):
+        stage_fault("pathgen:crash@PCR")
+        # Outside any scope: the scoped clause stays silent.
+        chaos.trip("pathgen")
+        with chaos.scope("IVD"):
+            chaos.trip("pathgen")
+        with chaos.scope("PCR"):
+            with pytest.raises(InjectedFault):
+                chaos.trip("pathgen")
+        assert chaos.current_scope() is None
+
+    def test_count_limited_crash_disarms_itself(self, stage_fault):
+        stage_fault("ilp:crash:2")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                chaos.trip("ilp")
+        # Third and later trips: the budget is spent.
+        chaos.trip("ilp")
+        chaos.trip("ilp")
+
+    def test_reset_rewinds_counters(self, stage_fault):
+        stage_fault("ilp:crash:1")
+        with pytest.raises(InjectedFault):
+            chaos.trip("ilp")
+        chaos.trip("ilp")
+        chaos.reset()
+        with pytest.raises(InjectedFault):
+            chaos.trip("ilp")
+
+    def test_hang_sleeps_for_arg_seconds(self, stage_fault):
+        stage_fault("replay:hang:0.05")
+        started = time.perf_counter()
+        chaos.trip("replay")
+        assert time.perf_counter() - started >= 0.05
+
+    def test_corrupt_is_noop_at_stage_layer(self, stage_fault):
+        stage_fault("cache:corrupt")
+        chaos.trip("cache")  # applied at the cache-read layer instead
+
+
+class TestCorruptPayload:
+    def test_flips_first_byte(self):
+        assert chaos.corrupt_payload(b"\x00abc") == b"\xffabc"
+
+    def test_empty_payload_still_changes(self):
+        assert chaos.corrupt_payload(b"") != b""

@@ -104,14 +104,16 @@ class TestArtifactCache:
         cache = ArtifactCache(tmp_path)
         assert cache.get(stable_digest("never-stored")) is None
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         digest = stable_digest("corrupt")
         cache.put(digest, [1, 2, 3])
         path = cache._path(digest)
         path.write_bytes(b"not a pickle")
         assert cache.get(digest) is None
+        # Quarantined (moved, never deleted) so the bytes stay for postmortems.
         assert not path.exists()
+        assert len(list(cache.quarantined())) == 1
 
     def test_stats_and_clear(self, tmp_path):
         cache = ArtifactCache(tmp_path)
