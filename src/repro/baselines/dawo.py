@@ -37,6 +37,7 @@ from repro.core.plan import WashOperation, WashPlan
 from repro.core.stages import NECESSITY_STAGE, REPLAY_STAGE, PDWContext
 from repro.core.targets import WashCluster, cluster_requirements, merge_by_blocker
 from repro.errors import RoutingError, WashError
+from repro.obs.trace import span
 from repro.pipeline import ArtifactCache, PipelineRun, StageBase
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import ScheduledTask, TaskKind
@@ -281,6 +282,10 @@ class DelayAwareWashOptimizer:
 
     def run(self) -> WashPlan:
         """Build the DAWO wash plan."""
+        with span("dawo", assay=self.synthesis.assay.name):
+            return self._run()
+
+    def _run(self) -> WashPlan:
         ctx = PDWContext(synthesis=self.synthesis, config=_DAWO_CONFIG)
         run = PipelineRun(label=f"DAWO:{self.synthesis.assay.name}", cache=self.cache)
 

@@ -6,19 +6,27 @@ Subcommands::
             [--stats] [--no-cache]
     pdw list
     pdw report {table2,fig4,fig5,ablation,necessity,pareto,timings,
-                failures,all}
+                failures,trace,all} [benchmark]
     pdw suite [benchmark ...] [--timeout S] [--retries N] [--resume]
               [--max-rss MB]                 # supervised, fault-tolerant runs
+    pdw bench [benchmark ...] [--iterations N] [--quick] [--out FILE]
+              [--compare BASELINE.json] [--threshold PCT]
     pdw assay <file.json> [--method ...]     # optimize a user assay
     pdw cost <benchmark>                     # chip cost + plan comparison
     pdw simulate <benchmark> [--method ...]  # discrete-event execution log
-    pdw export <benchmark> --what plan|actuation|svg [--out FILE]
+    pdw export <benchmark> --what plan|actuation|svg|trace|metrics
+               [--format json|prom] [--out FILE]
     pdw cache {info,clear,verify,gc}         # on-disk artifact cache
 
-Exit codes: 0 success; 1 simulation broken / corrupt cache entries found;
-2 a :class:`~repro.errors.ReproError` (clean one-line message on stderr);
+Exit codes: 0 success; 1 simulation broken / corrupt cache entries found /
+``pdw bench --compare`` detected a hot-path regression; 2 a
+:class:`~repro.errors.ReproError` (clean one-line message on stderr);
 3 ``pdw suite`` completed but lost at least one benchmark (partial
 success — see ``pdw report failures``).
+
+The full reference, including every flag, lives in docs/CLI.md — a unit
+test asserts that document against :func:`build_parser`'s argparse tree,
+so it cannot drift.
 """
 
 from __future__ import annotations
@@ -33,7 +41,10 @@ from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
 from repro.errors import ReproError
 from repro.experiments.__main__ import main as experiments_main
-from repro.pipeline import default_cache, default_cache_dir
+from repro.obs import metrics as obs_metrics
+from repro.obs import perf
+from repro.obs.trace import tracer
+from repro.pipeline import default_cache, default_cache_dir, digest_config
 from repro.schedule import render_gantt
 from repro.synth import synthesize
 from repro.viz import render_chip
@@ -67,11 +78,16 @@ def _print_plan(plan, show_gantt: bool, show_chip: bool, show_stats: bool = Fals
         print(render_gantt(plan.schedule))
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``pdw`` argparse tree.
+
+    Exposed separately from :func:`main` so docs/CLI.md can be asserted
+    against it (tests/unit/test_docs_cli.py) and never drift.
+    """
     parser = argparse.ArgumentParser(prog="pdw", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list the built-in benchmarks")
+    sub.add_parser("list", help="list the built-in benchmarks")
 
     p_run = sub.add_parser("run", help="optimize a built-in benchmark")
     p_run.add_argument("benchmark", choices=list(BENCHMARKS))
@@ -100,22 +116,38 @@ def main(argv: list[str] | None = None) -> int:
     p_assay.add_argument("--stats", action="store_true")
     p_assay.add_argument("--no-cache", action="store_true")
 
-    p_report = sub.add_parser("report", help="regenerate the paper's tables/figures")
+    p_report = sub.add_parser(
+        "report", help="regenerate the paper's tables/figures, or render a trace"
+    )
     p_report.add_argument(
         "name",
         choices=(
             "table2", "fig4", "fig5", "ablation", "necessity", "pareto",
-            "timings", "failures", "all",
+            "timings", "failures", "trace", "all",
         ),
     )
+    p_report.add_argument(
+        "benchmark", nargs="?", choices=list(BENCHMARKS), default=None,
+        help="benchmark to trace (required by 'report trace', ignored otherwise)",
+    )
     p_report.add_argument("--time-limit", type=float, default=120.0)
+    p_report.add_argument(
+        "--method", choices=list(_METHODS), default="pdw",
+        help="trace: which optimizer to run under the tracer",
+    )
+    p_report.add_argument(
+        "--no-cache", action="store_true",
+        help="trace: bypass the artifact cache so every stage computes",
+    )
 
     p_suite = sub.add_parser(
         "suite", help="run benchmarks under the fault-tolerant supervisor"
     )
+    # nargs="*" + choices rejects the zero-arg case on Python < 3.12
+    # (bpo-9625), so benchmark lists are validated by _check_benchmarks.
     p_suite.add_argument(
-        "benchmarks", nargs="*", choices=list(BENCHMARKS), default=[],
-        help="benchmarks to run (default: the full suite)",
+        "benchmarks", nargs="*", metavar="benchmark", default=None,
+        help=f"benchmarks to run (default: the full suite; one of {', '.join(BENCHMARKS)})",
     )
     p_suite.add_argument("--time-limit", type=float, default=120.0)
     p_suite.add_argument(
@@ -137,6 +169,35 @@ def main(argv: list[str] | None = None) -> int:
     p_suite.add_argument("--workers", type=int, default=None)
     p_suite.add_argument("--no-cache", action="store_true")
 
+    p_bench = sub.add_parser(
+        "bench", help="cold-run perf baselines: medians/p95 per stage and rung"
+    )
+    p_bench.add_argument(
+        "benchmarks", nargs="*", metavar="benchmark", default=None,
+        help="benchmark matrix (default: the full Table II suite)",
+    )
+    p_bench.add_argument("--time-limit", type=float, default=120.0)
+    p_bench.add_argument(
+        "--iterations", type=int, default=perf.DEFAULT_ITERATIONS,
+        help="cold samples per benchmark (median/p95 are taken over these)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help=f"smoke matrix: one iteration of {perf.QUICK_BENCHMARK} only",
+    )
+    p_bench.add_argument(
+        "--out", type=Path, default=None,
+        help="output file (default: BENCH_<git-sha>.json in the CWD)",
+    )
+    p_bench.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="gate this run against a baseline artifact; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="allowed hot-path median growth in percent (default 25)",
+    )
+
     p_cache = sub.add_parser("cache", help="inspect, verify, or clear the artifact cache")
     p_cache.add_argument("action", choices=("info", "clear", "verify", "gc"))
     p_cache.add_argument(
@@ -154,14 +215,38 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("--time-limit", type=float, default=120.0)
     p_sim.add_argument("--events", action="store_true", help="print every event")
 
-    p_export = sub.add_parser("export", help="export plan/actuation/SVG artifacts")
+    p_export = sub.add_parser(
+        "export", help="export plan/actuation/SVG/trace/metrics artifacts"
+    )
     p_export.add_argument("benchmark", choices=list(BENCHMARKS))
-    p_export.add_argument("--what", choices=("plan", "actuation", "svg"), default="plan")
+    p_export.add_argument(
+        "--what",
+        choices=("plan", "actuation", "svg", "trace", "metrics"),
+        default="plan",
+        help="trace = Chrome-trace JSON (about:tracing / Perfetto); "
+        "metrics = the run's metrics registry",
+    )
     p_export.add_argument("--method", choices=list(_METHODS), default="pdw")
     p_export.add_argument("--time-limit", type=float, default=120.0)
+    p_export.add_argument(
+        "--format", choices=("json", "prom"), default="json", dest="format",
+        help="metrics only: JSON snapshot or Prometheus text exposition",
+    )
     p_export.add_argument("--out", type=Path, default=None, help="output file (default stdout)")
+    return parser
 
-    args = parser.parse_args(argv)
+
+def _check_benchmarks(names: list[str] | None) -> None:
+    """Manual benchmark-name validation for ``nargs="*"`` positionals."""
+    for name in names or ():
+        if name not in BENCHMARKS:
+            raise ReproError(
+                f"unknown benchmark {name!r}; choose from {', '.join(BENCHMARKS)}"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
     except ReproError as exc:
@@ -186,10 +271,17 @@ def _dispatch(args: argparse.Namespace) -> int:
 
             print(failures_report())
             return 0
+        if args.name == "trace":
+            return _run_report_trace(args)
         return experiments_main([args.name, "--time-limit", str(args.time_limit)])
 
     if args.command == "suite":
+        _check_benchmarks(args.benchmarks)
         return _run_suite_cmd(args)
+
+    if args.command == "bench":
+        _check_benchmarks(args.benchmarks)
+        return _run_bench_cmd(args)
 
     if args.command == "cache":
         return _run_cache(args.action, getattr(args, "max_bytes", None))
@@ -203,7 +295,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "simulate":
         return _run_simulate(args.benchmark, args.method, config, args.events)
     if args.command == "export":
-        return _run_export(args.benchmark, args.what, args.method, config, args.out)
+        return _run_export(
+            args.benchmark, args.what, args.method, config, args.out, args.format
+        )
 
     if args.command == "run":
         spec = benchmark(args.benchmark)
@@ -261,7 +355,47 @@ def _run_suite_cmd(args: argparse.Namespace) -> int:
             )
     ok = len(result.runs)
     print(f"{ok}/{len(result)} benchmarks succeeded; journal: {result.journal_path}")
+    if result.metrics_path is not None:
+        print(f"merged metrics dump: {result.metrics_path}")
     return 0 if not result.failures else 3
+
+
+def _run_report_trace(args: argparse.Namespace) -> int:
+    """``pdw report trace <benchmark>``: run under the tracer, render the tree."""
+    from repro.experiments.runner import run_benchmark
+
+    if args.benchmark is None:
+        raise ReproError("'pdw report trace' needs a benchmark name")
+    tracer().enable()
+    tracer().clear()
+    config = PDWConfig(time_limit_s=args.time_limit)
+    run_benchmark(args.benchmark, config, use_cache=not args.no_cache)
+    print(f"trace of {args.benchmark} (config {digest_config(config)[:12]})")
+    print(tracer().render_tree())
+    return 0
+
+
+def _run_bench_cmd(args: argparse.Namespace) -> int:
+    """``pdw bench``: perf baselines + optional regression gate."""
+    config = PDWConfig(time_limit_s=args.time_limit)
+    result = perf.run_bench(
+        names=args.benchmarks or None,
+        config=config,
+        iterations=args.iterations,
+        quick=args.quick,
+        progress=lambda line: print(f"  {line}"),
+    )
+    out = args.out if args.out is not None else result.default_path(Path.cwd())
+    out.write_text(result.to_json() + "\n", encoding="utf-8")
+    print(f"wrote bench baseline to {out} (config {result.payload['config_digest'][:12]})")
+    if args.compare is None:
+        return 0
+    baseline = perf.load_bench(args.compare)
+    report = perf.compare_bench(
+        result.payload, baseline, threshold_pct=args.threshold
+    )
+    print(report.render(), end="")
+    return 0 if report.ok else 1
 
 
 def _run_cache(action: str, max_bytes: int | None = None) -> int:
@@ -311,8 +445,16 @@ def _run_export(
     method: str,
     config: PDWConfig,
     out: Path | None,
+    fmt: str = "json",
 ) -> int:
     from repro.export import actuation_program, plan_to_json, render_svg
+
+    if what in ("trace", "metrics"):
+        # Observe a fresh run: clear the collectors, trace the whole
+        # optimization, and stamp the artifact with the config digest.
+        tracer().enable()
+        tracer().clear()
+        obs_metrics.reset()
 
     spec = benchmark(bench_name)
     synth = synthesize(load_benchmark(bench_name), inventory=spec.inventory)
@@ -321,6 +463,20 @@ def _run_export(
         text = plan_to_json(plan)
     elif what == "actuation":
         text = actuation_program(synth.chip, plan.schedule)
+    elif what == "trace":
+        text = tracer().chrome_trace(config_digest=digest_config(config))
+    elif what == "metrics":
+        if fmt == "prom":
+            text = obs_metrics.registry().render_prometheus()
+        else:
+            import json as _json
+
+            payload = {
+                **obs_metrics.snapshot(),
+                "config_digest": digest_config(config),
+                "benchmark": bench_name,
+            }
+            text = _json.dumps(payload, indent=2, sort_keys=True)
     else:
         text = render_svg(synth.chip, paths=[w.path for w in plan.washes])
     if out is None:

@@ -42,6 +42,7 @@ from repro.core.stages import (
     PDWContext,
 )
 from repro.errors import WashError
+from repro.obs.trace import span
 from repro.pipeline import ArtifactCache, PipelineRun
 from repro.sim.validate import validate_plan
 from repro.synth.synthesis import SynthesisResult
@@ -81,6 +82,10 @@ class PathDriverWash:
 
     def run(self, verify: bool = True) -> WashPlan:
         """Execute the full PDW pipeline and return the wash plan."""
+        with span("pdw", assay=self.synthesis.assay.name):
+            return self._run(verify)
+
+    def _run(self, verify: bool) -> WashPlan:
         ctx = PDWContext(synthesis=self.synthesis, config=self.config)
         run = PipelineRun(label=f"PDW:{self.synthesis.assay.name}", cache=self.cache)
 

@@ -46,6 +46,8 @@ from repro.core.plan import WashPlan
 from repro.core.stages import REPLAY_STAGE, PDWContext
 from repro.errors import ReproError
 from repro.ilp import faults
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.pipeline import (
     ArtifactCache,
     PipelineRun,
@@ -143,6 +145,9 @@ class SuiteResult(Sequence):
     journal_path: Optional[object] = None
     #: Benchmarks served from the journal + cache without re-execution.
     resumed: tuple = ()
+    #: Merged metrics dump (parent + all worker subprocesses) of a
+    #: supervised run; ``None`` for in-process suites.
+    metrics_path: Optional[object] = None
 
     @property
     def runs(self) -> List[BenchmarkRun]:
@@ -220,8 +225,11 @@ def run_benchmark(
     ``use_cache=False`` to bypass (and not populate) both cache levels.
     """
     cfg = config or default_config()
-    with chaos.scope(name):
-        return _run_benchmark_scoped(name, cfg, use_cache, cache)
+    with obs_trace.span(f"bench.{name}", cached=use_cache) as sp:
+        with chaos.scope(name):
+            run = _run_benchmark_scoped(name, cfg, use_cache, cache)
+        sp.set("from_cache", run.from_cache)
+        return run
 
 
 def _run_benchmark_scoped(
@@ -245,6 +253,9 @@ def _run_benchmark_scoped(
         stored = disk.get(digest)
         if isinstance(stored, BenchmarkRun):
             stored.from_cache = True
+            obs_metrics.registry().counter(
+                "pdw_run_cache_hits_total", benchmark=name
+            ).inc()
             with _CACHE_LOCK:
                 run = _CACHE.setdefault(key, stored)
             return run

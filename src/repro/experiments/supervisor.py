@@ -56,7 +56,15 @@ from repro.experiments.runner import (
     run_digest,
 )
 from repro.ilp import faults
-from repro.pipeline import ArtifactCache, chaos, default_cache, default_cache_dir
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import tracer
+from repro.pipeline import (
+    ArtifactCache,
+    chaos,
+    default_cache,
+    default_cache_dir,
+    digest_config,
+)
 
 #: Failure kinds worth retrying: a flaky worker death or a stall can be
 #: transient, while ``error`` (a deterministic ReproError) and ``oom``
@@ -65,6 +73,9 @@ RETRYABLE_KINDS = ("crash", "timeout")
 
 #: Journal file name, relative to the cache root.
 JOURNAL_NAME = os.path.join("journal", "suite.jsonl")
+
+#: Merged metrics dump written next to the journal after every suite run.
+METRICS_DUMP_NAME = os.path.join("journal", "metrics.json")
 
 #: Prefer fork: workers inherit the warmed interpreter; fall back to
 #: spawn where fork is unavailable (all arguments are picklable).
@@ -99,8 +110,15 @@ def _child_entry(conn, name, config, use_cache, cache, max_rss_bytes) -> None:
 
     Must stay a module-level function (picklable under spawn).  Failures
     are classified here when the worker survives long enough to tell;
-    the parent classifies from the exit code otherwise.
+    the parent classifies from the exit code otherwise.  Every report —
+    success or classified failure — carries the worker's own metrics
+    snapshot, which the parent merges and journals so the run-wide dump
+    covers all subprocesses.
     """
+    # Under fork the worker inherits the parent's already-populated
+    # registry; reset so the snapshot covers only this worker's work and
+    # the parent-side merge never double counts.
+    obs_metrics.reset()
     try:
         if max_rss_bytes:
             try:
@@ -110,15 +128,21 @@ def _child_entry(conn, name, config, use_cache, cache, max_rss_bytes) -> None:
             except (ImportError, ValueError, OSError):
                 pass  # best-effort: not every platform allows it
         run = run_benchmark(name, config, use_cache=use_cache, cache=cache)
-        _safe_send(conn, ("ok", run))
+        _safe_send(conn, ("ok", run, obs_metrics.snapshot()))
     except MemoryError:
-        _safe_send(conn, ("fail", "oom", "MemoryError while running benchmark"))
+        _safe_send(
+            conn,
+            ("fail", "oom", "MemoryError while running benchmark", obs_metrics.snapshot()),
+        )
     except chaos.InjectedFault as exc:
-        _safe_send(conn, ("fail", "crash", str(exc)))
+        _safe_send(conn, ("fail", "crash", str(exc), obs_metrics.snapshot()))
     except ReproError as exc:
-        _safe_send(conn, ("fail", "error", str(exc)))
+        _safe_send(conn, ("fail", "error", str(exc), obs_metrics.snapshot()))
     except BaseException as exc:  # noqa: BLE001 — a worker must always report
-        _safe_send(conn, ("fail", "crash", f"{type(exc).__name__}: {exc}"))
+        _safe_send(
+            conn,
+            ("fail", "crash", f"{type(exc).__name__}: {exc}", obs_metrics.snapshot()),
+        )
     finally:
         try:
             conn.close()
@@ -193,6 +217,40 @@ class SuiteSupervisor:
         with self.journal_path.open("a", encoding="utf-8") as fh:
             fh.write(json.dumps(payload, sort_keys=True) + "\n")
 
+    def _absorb_metrics(self, name: str, attempt: int, snapshot) -> None:
+        """Merge one worker's metrics snapshot and journal it.
+
+        The journal copy makes the merge durable: ``merged_metrics`` can
+        rebuild the run-wide dump offline, and a parent that dies after
+        journalling loses nothing.
+        """
+        if not isinstance(snapshot, dict) or not snapshot.get("series"):
+            return
+        try:
+            obs_metrics.registry().merge(snapshot)
+        except (TypeError, ValueError):
+            return  # a worker on mismatched code; drop rather than corrupt
+        self._journal(
+            {
+                "event": "metrics",
+                "benchmark": name,
+                "attempt": attempt,
+                "snapshot": snapshot,
+            }
+        )
+
+    def _dump_metrics(self, config_digest: str = "") -> Path:
+        """Write the merged (parent + all workers) metrics dump."""
+        path = self.journal_path.parent / "metrics.json"
+        payload = {
+            **obs_metrics.snapshot(),
+            "config_digest": config_digest,
+            "journal": str(self.journal_path),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        return path
+
     def _journaled_successes(self) -> Dict[str, str]:
         """Latest terminal outcome per benchmark: ``{name: digest}`` of
         successes, dropping names whose most recent terminal event is a
@@ -254,8 +312,12 @@ class SuiteSupervisor:
                 time.sleep(0.02)
 
         entries = [results[name] for name in suite]
+        metrics_path = self._dump_metrics(config_digest=digest_config(cfg))
         return SuiteResult(
-            entries=entries, journal_path=self.journal_path, resumed=tuple(resumed)
+            entries=entries,
+            journal_path=self.journal_path,
+            resumed=tuple(resumed),
+            metrics_path=metrics_path,
         )
 
     def _launch(self, name: str, attempt: int, cfg: PDWConfig, digest: str) -> _Active:
@@ -338,9 +400,26 @@ class SuiteSupervisor:
         except OSError:
             pass
         name = act.name
-        if outcome[0] == "ok":
+        ok = outcome[0] == "ok"
+        # Workers append their metrics snapshot to the payload; parent-made
+        # outcomes (timeout, silent death) have none.
+        snapshot = outcome[-1] if len(outcome) > (2 if ok else 3) else None
+        self._absorb_metrics(name, act.attempt, snapshot)
+        ended = time.perf_counter()
+        tracer().record_span(
+            "suite.attempt",
+            ended - wall,
+            ended,
+            status="ok" if ok else f"fail:{outcome[1]}",
+            benchmark=name,
+            attempt=act.attempt,
+        )
+        if ok:
             run = adopt_run(outcome[1], cfg)
             results[name] = run
+            obs_metrics.registry().counter(
+                "pdw_suite_attempts_total", outcome="ok"
+            ).inc()
             self._journal(
                 {
                     "event": "success",
@@ -352,9 +431,15 @@ class SuiteSupervisor:
                 }
             )
             return
-        _, kind, message = outcome
+        kind, message = outcome[1], outcome[2]
+        obs_metrics.registry().counter(
+            "pdw_suite_attempts_total", outcome=kind
+        ).inc()
         if kind in RETRYABLE_KINDS and act.attempt <= self.budget.retries:
             delay = self._backoff(name, act.attempt)
+            obs_metrics.registry().counter(
+                "pdw_suite_retries_total", kind=kind
+            ).inc()
             self._journal(
                 {
                     "event": "retry",
@@ -367,6 +452,7 @@ class SuiteSupervisor:
             )
             backoffs.append((time.monotonic() + delay, name, act.attempt + 1))
             return
+        obs_metrics.registry().counter("pdw_suite_failures_total", kind=kind).inc()
         results[name] = FailureRecord(
             name=name, kind=kind, message=message,
             attempts=act.attempt, wall_time_s=wall,
@@ -447,6 +533,23 @@ def _read_journal(path: Path) -> List[dict]:
         if isinstance(record, dict):
             records.append(record)
     return records
+
+
+def merged_metrics(journal_path: Optional[Path] = None) -> obs_metrics.MetricsRegistry:
+    """Rebuild a run-wide metrics registry from the journal's snapshots.
+
+    Offline counterpart of the ``metrics.json`` dump: every ``metrics``
+    event (one per finished worker attempt) is merged in journal order.
+    """
+    path = Path(journal_path) if journal_path is not None else default_journal_path(
+        default_cache()
+    )
+    snapshots = [
+        rec["snapshot"]
+        for rec in _read_journal(path)
+        if rec.get("event") == "metrics" and isinstance(rec.get("snapshot"), dict)
+    ]
+    return obs_metrics.merge_snapshots(snapshots)
 
 
 def failures_report(journal_path: Optional[Path] = None) -> str:

@@ -30,6 +30,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import LadderExhausted, SolverError
 from repro.ilp import faults
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.ilp.branch_bound import BranchAndBoundSolver
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
@@ -64,6 +66,17 @@ class PortfolioResult:
     solution: Solution
     rung: str
     attempts: Tuple[RungAttempt, ...] = ()
+
+
+def _publish_attempt(attempt: RungAttempt) -> None:
+    """Emit one ladder-rung attempt into the central metrics registry."""
+    reg = obs_metrics.registry()
+    reg.counter(
+        "pdw_solver_rung_attempts_total", rung=attempt.rung, status=attempt.status
+    ).inc()
+    reg.histogram("pdw_solver_rung_wall_seconds", rung=attempt.rung).observe(
+        attempt.wall_s
+    )
 
 
 class SolverPortfolio:
@@ -170,22 +183,23 @@ class SolverPortfolio:
         for rung, runner in self._rungs():
             started = time.perf_counter()
             budget = self._slice(rung, deadline)
-            try:
-                solution = faults.maybe_inject(rung)
-                if solution is None:
-                    solution = runner(model, budget)
-            except SolverError as exc:
-                attempts.append(
-                    RungAttempt(
+            with span(f"ilp.rung.{rung}", budget_s=round(budget, 3)) as sp:
+                try:
+                    solution = faults.maybe_inject(rung)
+                    if solution is None:
+                        solution = runner(model, budget)
+                except SolverError as exc:
+                    attempt = RungAttempt(
                         rung=rung,
                         status=SolveStatus.ERROR.value,
                         wall_s=time.perf_counter() - started,
                         message=str(exc),
                     )
-                )
-                continue
-            attempts.append(
-                RungAttempt(
+                    attempts.append(attempt)
+                    sp.set("status", attempt.status)
+                    _publish_attempt(attempt)
+                    continue
+                attempt = RungAttempt(
                     rung=rung,
                     status=solution.status.value,
                     wall_s=time.perf_counter() - started,
@@ -193,7 +207,9 @@ class SolverPortfolio:
                     objective=solution.objective,
                     message=solution.message,
                 )
-            )
+                attempts.append(attempt)
+                sp.set("status", attempt.status)
+                _publish_attempt(attempt)
             if solution.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
                 # Proven: lower rungs cannot change a broken model.
                 return PortfolioResult(solution, rung, tuple(attempts))

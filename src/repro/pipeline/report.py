@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs import metrics as obs_metrics
+
 
 @dataclass
 class StageRecord:
@@ -27,15 +29,55 @@ class StageRecord:
     counters: Dict[str, float] = field(default_factory=dict)
     detail: str = ""
 
+    @property
+    def origin(self) -> str:
+        """Where the artifact came from: computed | cache | shared.
+
+        Derived (not stored) so reports pickled by older code versions
+        keep loading.  ``shared`` rows were handed in by another pipeline
+        (zero wall time); ``cache`` rows cost one cache lookup, recorded
+        as this record's ``wall_s`` (and the ``cache_lookup_s`` counter).
+        Timing statistics must average ``computed`` rows only.
+        """
+        if self.counters.get("shared"):
+            return "shared"
+        return "cache" if self.cached else "computed"
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-data view (used by reports and JSON export)."""
         return {
             "stage": self.stage,
             "wall_s": self.wall_s,
             "cached": self.cached,
+            "origin": self.origin,
             "counters": dict(self.counters),
             "detail": self.detail,
         }
+
+    def publish(self) -> None:
+        """Emit this record into the central metrics registry.
+
+        The single choke point through which every stage execution —
+        pipeline stages, ad-hoc timed steps, solver-rung records —
+        reaches :mod:`repro.obs.metrics`: wall-time histograms split by
+        origin, a run counter, and one gauge per artifact counter.
+        """
+        reg = obs_metrics.registry()
+        reg.counter(
+            "pdw_stage_runs_total", stage=self.stage, origin=self.origin
+        ).inc()
+        if self.origin == "computed":
+            reg.histogram("pdw_stage_wall_seconds", stage=self.stage).observe(
+                self.wall_s
+            )
+        elif self.origin == "cache":
+            reg.histogram(
+                "pdw_stage_cache_lookup_seconds", stage=self.stage
+            ).observe(self.wall_s)
+        for key, value in self.counters.items():
+            reg.gauge("pdw_stage_counter", stage=self.stage, key=key).set(
+                float(value)
+            )
 
 
 @dataclass
@@ -55,8 +97,9 @@ class RunReport:
         counters: Optional[Dict[str, float]] = None,
         detail: str = "",
     ) -> StageRecord:
-        """Append one stage record and return it."""
+        """Append one stage record, publish it to the registry, return it."""
         rec = StageRecord(stage, wall_s, cached, dict(counters or {}), detail)
+        rec.publish()
         self.stages.append(rec)
         return rec
 
@@ -85,6 +128,16 @@ class RunReport:
     def total_wall_s(self) -> float:
         """Summed wall time over all recorded stages."""
         return sum(rec.wall_s for rec in self.stages)
+
+    @property
+    def computed_wall_s(self) -> float:
+        """Summed wall time over *computed* stages only.
+
+        Cache-served and shared rows cost a lookup (or nothing), so
+        including them silently skews timing averages toward zero —
+        ``pdw report timings`` and ``pdw bench`` aggregate this view.
+        """
+        return sum(rec.wall_s for rec in self.stages if rec.origin == "computed")
 
     @property
     def cache_hits(self) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Optional, Protocol, runtime_checkable
 
+from repro.obs.trace import span
 from repro.pipeline import chaos
 from repro.pipeline.cache import ArtifactCache, stable_digest
 from repro.pipeline.report import RunReport
@@ -77,41 +78,54 @@ class PipelineRun:
     # -- stage execution ---------------------------------------------------------
 
     def run_stage(self, stage: Stage, ctx: Any) -> Any:
-        """Run one stage against ``ctx`` (cache-first) and record it."""
-        chaos.trip(stage.name)
-        started = time.perf_counter()
-        digest: Optional[str] = None
-        key = stage.key(ctx)
-        if self.cache is not None and key is not None:
-            digest = stable_digest("stage", stage.name, stage.version, key)
-            artifact = self.cache.get(digest)
-            if artifact is not None:
-                self.report.record(
-                    stage.name,
-                    wall_s=time.perf_counter() - started,
-                    cached=True,
-                    counters=stage.counters(artifact),
-                    detail=getattr(stage, "detail", lambda a: "")(artifact),
-                )
-                return artifact
-        artifact = stage.compute(ctx)
-        if self.cache is not None and digest is not None and artifact is not None:
-            self.cache.put(digest, artifact)
-        self.report.record(
-            stage.name,
-            wall_s=time.perf_counter() - started,
-            cached=False,
-            counters=stage.counters(artifact),
-            detail=getattr(stage, "detail", lambda a: "")(artifact),
-        )
-        return artifact
+        """Run one stage against ``ctx`` (cache-first) and record it.
+
+        Cache hits are recorded with the *lookup* wall time (never a flat
+        ``0.0``) plus a ``cache_lookup_s`` counter, and flagged
+        ``cached=True`` so timing aggregations can exclude them instead
+        of silently averaging near-zero rows.
+        """
+        with span(f"stage.{stage.name}") as sp:
+            chaos.trip(stage.name)
+            started = time.perf_counter()
+            digest: Optional[str] = None
+            key = stage.key(ctx)
+            if self.cache is not None and key is not None:
+                digest = stable_digest("stage", stage.name, stage.version, key)
+                artifact = self.cache.get(digest)
+                if artifact is not None:
+                    lookup_s = time.perf_counter() - started
+                    sp.set("origin", "cache")
+                    counters = stage.counters(artifact)
+                    counters["cache_lookup_s"] = round(lookup_s, 6)
+                    self.report.record(
+                        stage.name,
+                        wall_s=lookup_s,
+                        cached=True,
+                        counters=counters,
+                        detail=getattr(stage, "detail", lambda a: "")(artifact),
+                    )
+                    return artifact
+            artifact = stage.compute(ctx)
+            if self.cache is not None and digest is not None and artifact is not None:
+                self.cache.put(digest, artifact)
+            sp.set("origin", "computed")
+            self.report.record(
+                stage.name,
+                wall_s=time.perf_counter() - started,
+                cached=False,
+                counters=stage.counters(artifact),
+                detail=getattr(stage, "detail", lambda a: "")(artifact),
+            )
+            return artifact
 
     def provided(self, name: str, counters: Optional[Dict[str, float]] = None) -> None:
         """Record a stage whose artifact was handed in by the caller.
 
         Used when an upstream artifact (e.g. the contamination replay) is
         shared between pipelines instead of recomputed: the consuming
-        pipeline still shows the stage, with zero wall time.
+        pipeline still shows the stage, flagged ``shared`` with zero wall
+        time (excluded from timing averages via ``StageRecord.origin``).
         """
         rec_counters = dict(counters or {})
         rec_counters["shared"] = 1.0
@@ -125,14 +139,15 @@ class PipelineRun:
         detail: str = "",
     ) -> Any:
         """Run an ad-hoc (non-cached, non-Stage) step under instrumentation."""
-        chaos.trip(name)
-        started = time.perf_counter()
-        artifact = compute()
-        self.report.record(
-            name,
-            wall_s=time.perf_counter() - started,
-            cached=False,
-            counters=counters(artifact) if counters else {},
-            detail=detail,
-        )
-        return artifact
+        with span(f"stage.{name}"):
+            chaos.trip(name)
+            started = time.perf_counter()
+            artifact = compute()
+            self.report.record(
+                name,
+                wall_s=time.perf_counter() - started,
+                cached=False,
+                counters=counters(artifact) if counters else {},
+                detail=detail,
+            )
+            return artifact

@@ -24,6 +24,8 @@ from typing import List
 
 from repro.core.plan import WashPlan
 from repro.errors import WashError
+from repro.obs.metrics import registry
+from repro.obs.trace import span
 from repro.sim.executor import ScheduleExecutor
 from repro.synth.synthesis import SynthesisResult
 
@@ -64,6 +66,13 @@ def validation_problems(plan: WashPlan, synthesis: SynthesisResult) -> List[str]
 
 def validate_plan(plan: WashPlan, synthesis: SynthesisResult) -> None:
     """Raise :class:`PlanValidationError` unless ``plan`` replays cleanly."""
-    problems = validation_problems(plan, synthesis)
-    if problems:
-        raise PlanValidationError(plan.method, problems)
+    with span("sim.validate", method=plan.method) as sp:
+        problems = validation_problems(plan, synthesis)
+        sp.set("problems", len(problems))
+        registry().counter(
+            "pdw_plan_validations_total",
+            method=plan.method,
+            outcome="fail" if problems else "ok",
+        ).inc()
+        if problems:
+            raise PlanValidationError(plan.method, problems)

@@ -45,7 +45,7 @@ class TestSupervisor:
         assert [run.name for run in result.runs] == SUITE
         assert all(isinstance(run, BenchmarkRun) for run in result)
         events = {r["event"] for r in _read_journal(result.journal_path)}
-        assert events == {"attempt", "success"}
+        assert events == {"attempt", "success", "metrics"}
 
     def test_crashed_benchmark_does_not_abort_the_suite(self, tmp_path, stage_fault):
         stage_fault("pathgen:crash@PCR")

@@ -1,0 +1,78 @@
+"""docs/CLI.md cannot drift from the argparse tree.
+
+Walks :func:`repro.cli.build_parser` and asserts every subcommand has a
+``## pdw <name>`` section documenting every one of its flags (and no
+section documents a subcommand that does not exist).
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+CLI_MD = Path(__file__).resolve().parents[2] / "docs" / "CLI.md"
+
+
+def _subparsers(parser: argparse.ArgumentParser) -> dict:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise AssertionError("pdw parser has no subcommands")
+
+
+def _sections(text: str) -> dict:
+    """Map ``## pdw <name>`` heading -> section body."""
+    sections = {}
+    matches = list(re.finditer(r"^## pdw (\S+)\s*$", text, flags=re.M))
+    for i, m in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections[m.group(1)] = text[m.end():end]
+    return sections
+
+
+def _documented_tokens(action: argparse.Action) -> list:
+    """The strings any of which may document this action in CLI.md."""
+    if action.option_strings:
+        return list(action.option_strings)
+    # Positionals: dest or metavar, whichever the doc chose.
+    tokens = [action.dest]
+    if action.metavar:
+        tokens.append(action.metavar)
+    return tokens
+
+
+class TestCliDocs:
+    text = CLI_MD.read_text(encoding="utf-8")
+    sections = _sections(text)
+    subcommands = _subparsers(build_parser())
+
+    def test_every_subcommand_has_a_section(self):
+        missing = set(self.subcommands) - set(self.sections)
+        assert not missing, f"subcommands undocumented in docs/CLI.md: {sorted(missing)}"
+
+    def test_no_section_documents_a_ghost_subcommand(self):
+        ghosts = set(self.sections) - set(self.subcommands)
+        assert not ghosts, f"docs/CLI.md documents nonexistent subcommands: {sorted(ghosts)}"
+
+    @pytest.mark.parametrize("name", sorted(_subparsers(build_parser())))
+    def test_every_flag_is_documented(self, name):
+        body = self.sections[name]
+        sub = self.subcommands[name]
+        for action in sub._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            tokens = _documented_tokens(action)
+            assert any(f"`{tok}`" in body for tok in tokens), (
+                f"'pdw {name}' flag {tokens[0]!r} is not documented "
+                f"in its docs/CLI.md section"
+            )
+
+    def test_exit_codes_documented(self):
+        assert "## Exit codes" in self.text
+        for code in ("0", "1", "2", "3"):
+            assert re.search(rf"^\| {code} \|", self.text, flags=re.M), (
+                f"exit code {code} missing from docs/CLI.md"
+            )
