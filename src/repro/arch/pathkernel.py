@@ -1,0 +1,396 @@
+"""CSR-backed shortest-path kernel for chip flow networks.
+
+:mod:`networkx` is excellent for building and validating the chip graph,
+but its per-query generality is the wrong trade for routing: candidate
+generation issues *thousands* of point-to-point queries per chip (every
+visit-order probe of every port pair of every cluster), and each
+``nx.shortest_path`` call pays for subgraph views, attribute lookups and
+generator plumbing.  This module precomputes, once per :class:`Chip`, a
+compressed-sparse-row (CSR) adjacency — index-mapped nodes with
+``array``-backed offset/target/weight columns — and answers queries with
+a heapq Dijkstra plus Yen's algorithm for k shortest loop-free paths,
+both running over plain ints and floats.
+
+On top of the kernel sits an avoid-set-aware LRU cache keyed by
+``(src, dst, frozenset(banned))``.  Routing repeats itself heavily —
+cluster merging and candidate generation probe the same legs under the
+same avoid sets again and again — so the cache converts the dominant
+routing cost into dictionary lookups.  Negative results (no route) are
+cached too: unreachable probes are just as repetitive.  Hit/miss counts
+are kept per kernel and published to the metrics registry by the
+pipeline stages that drive routing (see
+:meth:`repro.core.stages.PathGenStage`).
+
+Determinism: neighbor lists preserve the graph's adjacency order and the
+heap breaks distance ties by insertion order (like networkx's Dijkstra),
+so repeated queries — including across processes — return identical
+paths.  Every query returns ``(path, length_mm)``: the kernel already
+accumulated the length, so callers never re-walk the path to price it.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from array import array
+from collections import OrderedDict
+from heapq import heappop, heappush
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.arch.chip import Chip, FlowPath
+from repro.errors import RoutingError
+from repro.obs.trace import span
+
+#: Shared empty avoid set (the common case — keeps cache keys small).
+NO_AVOID: FrozenSet[str] = frozenset()
+
+#: Default bound on cached queries per kernel.  Entries are small
+#: (a node tuple and a float); 32k of them comfortably cover the full
+#: benchmark suite without bounding memory in any meaningful way.
+DEFAULT_CACHE_SIZE = 32768
+
+_INF = float("inf")
+
+
+class PathKernel:
+    """Dijkstra/Yen queries over a CSR snapshot of one chip's network.
+
+    Build via :func:`kernel_for` (cached per chip) rather than directly;
+    the constructor walks the whole graph once.  Queries are thread-safe:
+    the CSR arrays are immutable after construction and the LRU cache is
+    guarded by a lock, so parallel path generation can share one kernel.
+    """
+
+    def __init__(self, chip: Chip, cache_size: int = DEFAULT_CACHE_SIZE):
+        with span("routing.kernel.build", chip=chip.name):
+            self.chip = chip
+            graph = chip.graph
+            default_mm = chip.parameters.cell_pitch_mm
+            #: Node order: graph insertion order, matching networkx
+            #: adjacency iteration so tie-breaks stay comparable.
+            self.nodes: List[str] = list(graph.nodes)
+            self.index: Dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+            n = len(self.nodes)
+            offsets = array("l", [0]) if n else array("l")
+            targets = array("l")
+            weights = array("d")
+            for node in self.nodes:
+                for nbr, data in graph.adj[node].items():
+                    targets.append(self.index[nbr])
+                    weights.append(float(data.get("length_mm", default_mm)))
+                offsets.append(len(targets))
+            self.offsets = offsets
+            self.targets = targets
+            self.weights = weights
+            self._cache: "OrderedDict[Tuple[str, str, FrozenSet[str]], object]" = (
+                OrderedDict()
+            )
+            self._cache_size = int(cache_size)
+            self._lock = threading.Lock()
+            self.cache_hits = 0
+            self.cache_misses = 0
+
+    # -- cache --------------------------------------------------------------
+
+    def cache_info(self) -> Tuple[int, int, int]:
+        """``(hits, misses, current size)`` of the query cache."""
+        with self._lock:
+            return self.cache_hits, self.cache_misses, len(self._cache)
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    # -- shortest path ------------------------------------------------------
+
+    def shortest(
+        self, src: str, dst: str, banned: FrozenSet[str] = NO_AVOID
+    ) -> Tuple[FlowPath, float]:
+        """Shortest path and its physical length, avoiding ``banned``.
+
+        ``banned`` never applies to the endpoints themselves.  Raises
+        :class:`RoutingError` when no route exists (that outcome is
+        cached as well — unreachable probes repeat just like reachable
+        ones).
+        """
+        key = (src, dst, banned)
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                if hit.__class__ is tuple:
+                    return hit  # type: ignore[return-value]
+                raise RoutingError(f"no route from {src!r} to {dst!r}")
+            self.cache_misses += 1
+        result = self._shortest_uncached(src, dst, banned)
+        with self._lock:
+            self._cache[key] = result if result is not None else _NO_ROUTE
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        if result is None:
+            raise RoutingError(f"no route from {src!r} to {dst!r}")
+        return result
+
+    def _shortest_uncached(
+        self, src: str, dst: str, banned: FrozenSet[str]
+    ) -> Optional[Tuple[FlowPath, float]]:
+        index = self.index
+        s = index.get(src)
+        t = index.get(dst)
+        if s is None or t is None:
+            return None
+        if s == t:
+            return (src,), 0.0
+        banned_idx: Set[int] = set()
+        for name in banned:
+            i = index.get(name)
+            if i is not None and i != s and i != t:
+                banned_idx.add(i)
+        return self._bidijkstra(s, t, banned_idx)
+
+    def _bidijkstra(
+        self, s: int, t: int, banned: Set[int]
+    ) -> Optional[Tuple[FlowPath, float]]:
+        """Bidirectional Dijkstra over the CSR arrays.
+
+        A faithful port of networkx's ``bidirectional_dijkstra`` (which
+        backed the router before this kernel existed): one shared FIFO
+        tie counter across both fringes, predecessor updates on strict
+        improvement only, and the first equal-cost meeting point wins.
+        Equal-cost routes therefore come out *identical* to the
+        networkx-era router, keeping synthesized transports and wash
+        paths stable across the optimization.
+        """
+        offsets, targets, weights = self.offsets, self.targets, self.weights
+        n = len(self.nodes)
+        done = ([False] * n, [False] * n)
+        seen = ([_INF] * n, [_INF] * n)
+        preds = ([-1] * n, [-1] * n)
+        fringe: Tuple[List[Tuple[float, int, int]], List[Tuple[float, int, int]]] = (
+            [(0.0, 0, s)],
+            [(0.0, 1, t)],
+        )
+        seen[0][s] = 0.0
+        seen[1][t] = 0.0
+        counter = 2
+        finaldist = _INF
+        meetnode = -1
+        direction = 1
+        while fringe[0] and fringe[1]:
+            direction = 1 - direction
+            dist, _, v = heappop(fringe[direction])
+            if done[direction][v]:
+                continue  # shortest path to v already found
+            done[direction][v] = True
+            if done[1 - direction][v]:
+                # Scanned in both directions: the best meeting point so
+                # far closes the shortest path.
+                break
+            d_seen = seen[direction]
+            o_seen = seen[1 - direction]
+            d_done = done[direction]
+            d_preds = preds[direction]
+            for e in range(offsets[v], offsets[v + 1]):
+                w = targets[e]
+                if d_done[w] or w in banned:
+                    continue
+                vw = dist + weights[e]
+                if vw < d_seen[w]:
+                    d_seen[w] = vw
+                    heappush(fringe[direction], (vw, counter, w))
+                    counter += 1
+                    d_preds[w] = v
+                    if o_seen[w] != _INF:
+                        total = vw + o_seen[w]
+                        if total < finaldist:
+                            finaldist = total
+                            meetnode = w
+        else:
+            return None  # a fringe drained without the searches meeting
+        nodes = self.nodes
+        fwd: List[int] = []
+        u = meetnode
+        while u != -1:
+            fwd.append(u)
+            u = preds[0][u]
+        fwd.reverse()
+        u = preds[1][meetnode]
+        while u != -1:
+            fwd.append(u)
+            u = preds[1][u]
+        return tuple(nodes[i] for i in fwd), finaldist
+
+    def _dijkstra(
+        self,
+        s: int,
+        t: int,
+        banned: Set[int],
+        banned_edges: Iterable[Tuple[int, int]],
+    ) -> Optional[Tuple[List[int], float]]:
+        """Parent array + distance to ``t``, or ``None`` when unreachable.
+
+        Ties break by discovery order (a FIFO counter in the heap) and
+        parents are only replaced on *strict* improvement, mirroring
+        networkx so equal-cost routes come out in a stable, comparable
+        order.
+        """
+        offsets, targets, weights = self.offsets, self.targets, self.weights
+        n = len(self.nodes)
+        dist: List[float] = [_INF] * n
+        seen: List[float] = [_INF] * n
+        parent: List[int] = [-1] * n
+        edge_ban = set(banned_edges) if banned_edges else None
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, s)]
+        seen[s] = 0.0
+        counter = 1
+        while heap:
+            d, _, u = heappop(heap)
+            if dist[u] != _INF:
+                continue  # stale heap entry; u already finalized
+            dist[u] = d
+            if u == t:
+                return parent, d
+            for e in range(offsets[u], offsets[u + 1]):
+                v = targets[e]
+                if dist[v] != _INF or v in banned:
+                    continue
+                if edge_ban is not None and (u, v) in edge_ban:
+                    continue
+                nd = d + weights[e]
+                if nd < seen[v]:
+                    seen[v] = nd
+                    parent[v] = u
+                    heappush(heap, (nd, counter, v))
+                    counter += 1
+        return None
+
+    def _walk_back(
+        self, result: Tuple[List[int], float], s: int, t: int
+    ) -> Tuple[FlowPath, float]:
+        parent, d = result
+        nodes = self.nodes
+        rev = [t]
+        u = t
+        while u != s:
+            u = parent[u]
+            rev.append(u)
+        rev.reverse()
+        return tuple(nodes[i] for i in rev), d
+
+    # -- k shortest loop-free paths (Yen) -----------------------------------
+
+    def k_shortest(
+        self,
+        src: str,
+        dst: str,
+        k: int,
+        banned: FrozenSet[str] = NO_AVOID,
+    ) -> List[Tuple[FlowPath, float]]:
+        """Up to ``k`` simple paths in increasing length order (Yen).
+
+        Length ties break on the node sequence so the ordering is total
+        and deterministic.  Raises :class:`RoutingError` when not even
+        one path exists.
+        """
+        if k < 1:
+            return []
+        first = self.shortest(src, dst, banned)  # raises when unreachable
+        found: List[Tuple[FlowPath, float]] = [first]
+        candidates: List[Tuple[float, FlowPath]] = []
+        in_candidates: Set[FlowPath] = set()
+        index = self.index
+        while len(found) < k:
+            prev_path, _ = found[-1]
+            prev_idx = [index[n] for n in prev_path]
+            root_len = 0.0
+            for i in range(len(prev_path) - 1):
+                root = prev_path[: i + 1]
+                spur = prev_path[i]
+                # Edges leaving the spur node along any already-found or
+                # queued path sharing this root are off limits.
+                edge_ban: Set[Tuple[int, int]] = set()
+                for path, _ in found:
+                    if path[: i + 1] == root and len(path) > i + 1:
+                        a, b = index[path[i]], index[path[i + 1]]
+                        edge_ban.add((a, b))
+                        edge_ban.add((b, a))
+                spur_banned = set(banned)
+                spur_banned.update(root[:-1])
+                spur_result = self._spur(
+                    spur, dst, frozenset(spur_banned), frozenset(edge_ban)
+                )
+                if spur_result is not None:
+                    spur_path, spur_len = spur_result
+                    total = root[:-1] + spur_path
+                    if total not in in_candidates:
+                        in_candidates.add(total)
+                        heappush(candidates, (root_len + spur_len, total))
+                root_len += self._edge_weight(prev_idx[i], prev_idx[i + 1])
+            if not candidates:
+                break
+            length, path = heappop(candidates)
+            found.append((path, length))
+        return found
+
+    def _spur(
+        self,
+        src: str,
+        dst: str,
+        banned: FrozenSet[str],
+        edge_ban: FrozenSet[Tuple[int, int]],
+    ) -> Optional[Tuple[FlowPath, float]]:
+        index = self.index
+        s, t = index.get(src), index.get(dst)
+        if s is None or t is None or s == t:
+            return None
+        banned_idx = {
+            i
+            for i in (index.get(name) for name in banned)
+            if i is not None and i != s and i != t
+        }
+        result = self._dijkstra(s, t, banned_idx, edge_ban)
+        if result is None:
+            return None
+        return self._walk_back(result, s, t)
+
+    def _edge_weight(self, u: int, v: int) -> float:
+        for e in range(self.offsets[u], self.offsets[u + 1]):
+            if self.targets[e] == v:
+                return self.weights[e]
+        raise RoutingError(
+            f"no channel segment between {self.nodes[u]!r} and {self.nodes[v]!r}"
+        )
+
+
+#: Sentinel cached for unreachable (src, dst, banned) queries.
+_NO_ROUTE = object()
+
+_KERNELS: "weakref.WeakKeyDictionary[Chip, PathKernel]" = weakref.WeakKeyDictionary()
+_KERNELS_LOCK = threading.Lock()
+
+
+def kernel_for(chip: Chip) -> PathKernel:
+    """The (cached) :class:`PathKernel` of ``chip``.
+
+    Kernels are keyed by chip identity in a weak dictionary: a chip's
+    network never mutates after construction, and dropping the chip
+    drops its kernel.
+    """
+    kernel = _KERNELS.get(chip)
+    if kernel is None:
+        with _KERNELS_LOCK:
+            kernel = _KERNELS.get(chip)
+            if kernel is None:
+                kernel = PathKernel(chip)
+                _KERNELS[chip] = kernel
+    return kernel
+
+
+def cache_counters(chip: Chip) -> Tuple[int, int]:
+    """``(hits, misses)`` of the chip's kernel cache (0, 0 when unbuilt)."""
+    kernel = _KERNELS.get(chip)
+    if kernel is None:
+        return 0, 0
+    hits, misses, _ = kernel.cache_info()
+    return hits, misses

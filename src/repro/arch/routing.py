@@ -2,19 +2,30 @@
 
 All flow paths — reagent transport, excess/waste removal, and the wash paths
 of both PDW and the DAWO baseline — are computed here.  The router wraps
-networkx shortest-path machinery with chip-specific concerns: physical edge
-lengths, node avoidance, multi-waypoint paths, and port selection.
+the CSR :class:`~repro.arch.pathkernel.PathKernel` (heapq Dijkstra + Yen's
+k-paths + avoid-set-aware LRU cache) with chip-specific concerns: physical
+edge lengths, node avoidance, multi-waypoint paths, and port selection.
+
+Every kernel query returns ``(path, length_mm)`` — the kernel accumulates
+the physical length while searching, so none of the methods here re-walk a
+path through :meth:`Chip.path_length_mm` just to price it.  The ``*_mm``
+method variants expose that pairing to callers (candidate generation and
+cluster merging consume it); the plain variants keep the original
+path-only signatures.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from repro.arch.chip import Chip, FlowPath
+from repro.arch.pathkernel import PathKernel, kernel_for
 from repro.errors import RoutingError
+
+#: A routed path together with its physical length in mm.
+RoutedPath = Tuple[FlowPath, float]
 
 
 def is_simple(path: Sequence[str]) -> bool:
@@ -27,22 +38,25 @@ class Router:
 
     def __init__(self, chip: Chip):
         self.chip = chip
+        self.kernel: PathKernel = kernel_for(chip)
+        #: Ports are never transited: fluid would leave the chip there.
+        self._port_ban = frozenset(chip.flow_ports) | frozenset(chip.waste_ports)
 
     # -- basic shortest paths ------------------------------------------------
 
-    def _subgraph(self, avoid: Optional[Iterable[str]], keep: Sequence[str]) -> nx.Graph:
-        """Working graph for one routing query.
+    def _banned(self, avoid: Optional[Iterable[str]], keep: Sequence[str]):
+        """Banned-node set for one routing query.
 
         Ports other than the endpoints are always banned: a flow cannot
         transit an inlet or outlet — fluid would leave the chip there.
         """
-        banned = set(avoid) if avoid else set()
-        banned.update(self.chip.flow_ports)
-        banned.update(self.chip.waste_ports)
-        banned -= set(keep)
-        if not banned:
-            return self.chip.graph
-        return self.chip.graph.subgraph(n for n in self.chip.graph if n not in banned)
+        if not avoid:
+            banned = self._port_ban
+        else:
+            banned = self._port_ban | frozenset(avoid)
+        if banned & frozenset(keep):
+            banned = banned - frozenset(keep)
+        return banned
 
     def shortest_path(
         self,
@@ -55,25 +69,25 @@ class Router:
         ``avoid`` removes nodes from consideration (except the endpoints),
         modeling channels occupied by concurrent fluids.
         """
-        graph = self._subgraph(avoid, (src, dst))
-        try:
-            path = nx.shortest_path(graph, src, dst, weight="length_mm")
-        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
-            raise RoutingError(f"no route from {src!r} to {dst!r}") from exc
-        return tuple(path)
+        return self.shortest_path_mm(src, dst, avoid)[0]
+
+    def shortest_path_mm(
+        self,
+        src: str,
+        dst: str,
+        avoid: Optional[Iterable[str]] = None,
+    ) -> RoutedPath:
+        """Like :meth:`shortest_path` but paired with its length in mm."""
+        return self.kernel.shortest(src, dst, self._banned(avoid, (src, dst)))
 
     def distance_mm(self, src: str, dst: str) -> float:
         """Shortest-path physical distance between two nodes."""
-        return self.chip.path_length_mm(self.shortest_path(src, dst))
+        return self.shortest_path_mm(src, dst)[1]
 
     def k_shortest_paths(self, src: str, dst: str, k: int = 3) -> List[FlowPath]:
         """Up to ``k`` loop-free paths in increasing length order."""
-        graph = self._subgraph(None, (src, dst))
-        try:
-            gen = nx.shortest_simple_paths(graph, src, dst, weight="length_mm")
-            return [tuple(p) for p in itertools.islice(gen, k)]
-        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
-            raise RoutingError(f"no route from {src!r} to {dst!r}") from exc
+        banned = self._banned(None, (src, dst))
+        return [path for path, _ in self.kernel.k_shortest(src, dst, k, banned)]
 
     # -- multi-waypoint paths ---------------------------------------------------
 
@@ -92,21 +106,31 @@ class Router:
         may revisit nodes.  Raises :class:`RoutingError` when some target
         is unreachable.
         """
+        return self.path_through_mm(src, targets, dst, avoid)[0]
+
+    def path_through_mm(
+        self,
+        src: str,
+        targets: Sequence[str],
+        dst: str,
+        avoid: Optional[Iterable[str]] = None,
+    ) -> RoutedPath:
+        """Like :meth:`path_through` but paired with its length in mm."""
         remaining: Set[str] = set(targets)
         remaining.discard(src)
         remaining.discard(dst)
         base_avoid = set(avoid) if avoid else set()
         if not remaining:
-            return self.shortest_path(src, dst, avoid=base_avoid)
+            return self.shortest_path_mm(src, dst, avoid=base_avoid)
 
-        best: Optional[FlowPath] = None
+        best: Optional[RoutedPath] = None
         for order in self._visit_orders(src, sorted(remaining), base_avoid):
             for protect_future in (True, False):
-                path = self._build_simple(src, order, dst, base_avoid, protect_future)
-                if path is None:
+                routed = self._build_simple(src, order, dst, base_avoid, protect_future)
+                if routed is None:
                     continue
-                if best is None or self.chip.path_length_mm(path) < self.chip.path_length_mm(best):
-                    best = path
+                if best is None or routed[1] < best[1]:
+                    best = routed
         if best is not None:
             return best
         return self._build_relaxed(src, remaining, dst, base_avoid)
@@ -145,7 +169,7 @@ class Router:
         """Candidate target visit orders: distance sweeps + reversals."""
         def dist(a: str, b: str) -> float:
             try:
-                return self.chip.path_length_mm(self.shortest_path(a, b, avoid=base_avoid))
+                return self.shortest_path_mm(a, b, avoid=base_avoid)[1]
             except RoutingError:
                 return float("inf")
 
@@ -175,7 +199,7 @@ class Router:
         dst: str,
         base_avoid: Set[str],
         protect_future: bool = True,
-    ) -> Optional[FlowPath]:
+    ) -> Optional[RoutedPath]:
         """Chain legs through ``order`` without revisiting any node.
 
         With ``protect_future`` each leg also detours around targets later
@@ -183,6 +207,7 @@ class Router:
         two-ended device) from the side that strands the rest of the tour.
         """
         path: List[str] = [src]
+        length = 0.0
         current = src
         covered = {src}
         for i, target in enumerate(order):
@@ -192,33 +217,42 @@ class Router:
             if protect_future:
                 avoid |= {t for t in order[i + 1:] if t not in covered}
             try:
-                leg = self.shortest_path(current, target, avoid=avoid)
+                leg, leg_mm = self.shortest_path_mm(current, target, avoid=avoid)
             except RoutingError:
                 return None
             path.extend(leg[1:])
+            length += leg_mm
             covered.update(leg)
             current = target
         try:
-            leg = self.shortest_path(current, dst, avoid=base_avoid | (covered - {current}))
+            leg, leg_mm = self.shortest_path_mm(
+                current, dst, avoid=base_avoid | (covered - {current})
+            )
         except RoutingError:
             return None
         path.extend(leg[1:])
-        return tuple(path)
+        length += leg_mm
+        return tuple(path), length
 
     def _build_relaxed(
         self, src: str, remaining: Set[str], dst: str, base_avoid: Set[str]
-    ) -> FlowPath:
+    ) -> RoutedPath:
         """Nearest-neighbor walk that may revisit nodes (last resort)."""
         remaining = set(remaining)
         path: List[str] = [src]
+        length = 0.0
         current = src
         while remaining:
-            current, leg = self._nearest_leg(current, remaining, base_avoid, path)
+            current, (leg, leg_mm) = self._nearest_leg(
+                current, remaining, base_avoid, path
+            )
             path.extend(leg[1:])
+            length += leg_mm
             remaining -= set(leg)
-        last_leg = self._leg(current, dst, base_avoid, path)
+        last_leg, last_mm = self._leg(current, dst, base_avoid, path)
         path.extend(last_leg[1:])
-        return tuple(path)
+        length += last_mm
+        return tuple(path), length
 
     def _nearest_leg(
         self,
@@ -226,22 +260,21 @@ class Router:
         remaining: Set[str],
         base_avoid: Set[str],
         visited: Sequence[str],
-    ) -> Tuple[str, FlowPath]:
+    ) -> Tuple[str, RoutedPath]:
         """Shortest leg from ``current`` to the closest remaining target."""
         best: Optional[Tuple[float, str, FlowPath]] = None
         for target in sorted(remaining):
             try:
-                leg = self._leg(current, target, base_avoid, visited)
+                leg, leg_mm = self._leg(current, target, base_avoid, visited)
             except RoutingError:
                 continue
-            length = self.chip.path_length_mm(leg)
-            if best is None or length < best[0]:
-                best = (length, target, leg)
+            if best is None or leg_mm < best[0]:
+                best = (leg_mm, target, leg)
         if best is None:
             raise RoutingError(
                 f"cannot reach any of {sorted(remaining)} from {current!r}"
             )
-        return best[1], best[2]
+        return best[1], (best[2], best[0])
 
     def _leg(
         self,
@@ -249,12 +282,12 @@ class Router:
         dst: str,
         base_avoid: Set[str],
         visited: Sequence[str],
-    ) -> FlowPath:
+    ) -> RoutedPath:
         """One leg; try to stay simple first, then relax the visited set."""
         try:
-            return self.shortest_path(src, dst, avoid=base_avoid | set(visited))
+            return self.shortest_path_mm(src, dst, avoid=base_avoid | set(visited))
         except RoutingError:
-            return self.shortest_path(src, dst, avoid=base_avoid)
+            return self.shortest_path_mm(src, dst, avoid=base_avoid)
 
     # -- port selection ----------------------------------------------------------
 
@@ -289,20 +322,30 @@ class Router:
 
         This is the candidate pool PDW's path-selection ILP chooses from.
         """
+        return [
+            path for path, _ in self.port_to_port_candidates_mm(targets, max_candidates)
+        ]
+
+    def port_to_port_candidates_mm(
+        self,
+        targets: Sequence[str],
+        max_candidates: int = 8,
+    ) -> List[RoutedPath]:
+        """Like :meth:`port_to_port_candidates`, each path with its length."""
         candidates: List[Tuple[float, FlowPath]] = []
         for fp in self.chip.flow_ports:
             for wp in self.chip.waste_ports:
                 try:
-                    path = self.path_through(fp, targets, wp)
+                    path, length = self.path_through_mm(fp, targets, wp)
                 except RoutingError:
                     continue
-                candidates.append((self.chip.path_length_mm(path), path))
+                candidates.append((length, path))
         candidates.sort(key=lambda item: (item[0], item[1]))
-        unique: List[FlowPath] = []
+        unique: List[RoutedPath] = []
         seen: Set[FlowPath] = set()
-        for _, path in candidates:
+        for length, path in candidates:
             if path not in seen:
-                unique.append(path)
+                unique.append((path, length))
                 seen.add(path)
             if len(unique) >= max_candidates:
                 break

@@ -61,6 +61,12 @@ class PDWConfig:
         the ILP entirely and assembles the plan with the sweep-line
         heuristic (``REPRO_FORCE_SOLVER`` overrides ``"auto"`` from the
         environment).
+    pathgen_workers:
+        Thread-pool width for per-cluster candidate-path generation.
+        ``0`` (default) defers to the ``REPRO_PATHGEN_WORKERS``
+        environment variable, falling back to serial; results are merged
+        in cluster order, so every worker count produces the identical
+        candidate pools (see docs/PERFORMANCE.md).
     """
 
     alpha: float = 0.3
@@ -76,6 +82,7 @@ class PDWConfig:
     enable_integration: bool = True
     integration_window_s: float = 10.0
     solver: str = "auto"
+    pathgen_workers: int = 0
 
     def __post_init__(self) -> None:
         if min(self.alpha, self.beta, self.gamma) < 0:
@@ -92,6 +99,8 @@ class PDWConfig:
             raise WashError("integration window must be non-negative")
         if self.solver not in ("auto", "highs", "branch_bound", "greedy"):
             raise WashError(f"unknown solver {self.solver!r}")
+        if self.pathgen_workers < 0:
+            raise WashError("pathgen workers must be >= 0 (0 = env/serial)")
 
 
 #: The exact parameterization used in the paper's experiments.

@@ -56,30 +56,32 @@ def exact_wash_path(
 
     model = Model("wash-path", big_m=8.0)
     u: Dict[str, object] = {n: model.add_binary_var(f"u[{n}]") for n in nodes}
+    big = model.big_m
 
-    def selected_neighbors(n: str) -> LinExpr:
-        return LinExpr.sum(u[m] for m in chip.neighbors(n) if m in node_set)
+    def neighbor_coeffs(n: str):
+        """Batch-row coefficients of the selected-neighbor degree of ``n``."""
+        return [(u[m], 1.0) for m in chip.neighbors(n) if m in node_set]
 
     # Eq. 12 — one flow port, one waste port.
-    model.add_constr(LinExpr.sum(u[p] for p in flow_ports) == 1, "one_flow_port")
-    model.add_constr(LinExpr.sum(u[p] for p in waste_ports) == 1, "one_waste_port")
+    model.add_linear_constraint([(u[p], 1.0) for p in flow_ports], "==", 1.0, "one_flow_port")
+    model.add_linear_constraint([(u[p], 1.0) for p in waste_ports], "==", 1.0, "one_waste_port")
 
     # Eq. 13 — a selected port has exactly one selected neighbor.
     for p in flow_ports + waste_ports:
-        deg = selected_neighbors(p)
-        model.add_constr(deg >= u[p], f"port_deg_lo[{p}]")
-        model.add_constr(deg <= 1 + model.big_m * (1 - LinExpr.from_any(u[p]) * 1.0), f"port_deg_hi[{p}]")
+        deg = neighbor_coeffs(p)
+        model.add_linear_constraint(deg + [(u[p], -1.0)], ">=", 0.0, f"port_deg_lo[{p}]")
+        model.add_linear_constraint(deg + [(u[p], big)], "<=", 1.0 + big, f"port_deg_hi[{p}]")
 
-    # Eq. 14 — a selected interior node has exactly two selected neighbors.
+    # Eq. 14 — a selected interior node has exactly two selected neighbors
+    # (big-M relaxed to a no-op when the node is unselected).
     for n in interior:
-        deg = selected_neighbors(n)
-        slack = model.big_m * (1 - LinExpr.from_any(u[n]) * 1.0)
-        model.add_constr(deg >= 2 - slack, f"deg_lo[{n}]")
-        model.add_constr(deg <= 2 + slack, f"deg_hi[{n}]")
+        deg = neighbor_coeffs(n)
+        model.add_linear_constraint(deg + [(u[n], -big)], ">=", 2.0 - big, f"deg_lo[{n}]")
+        model.add_linear_constraint(deg + [(u[n], big)], "<=", 2.0 + big, f"deg_hi[{n}]")
 
     # Eq. 15 — all targets covered.
     for t in target_set:
-        model.add_constr(LinExpr.from_any(u[t]) >= 1, f"target[{t}]")
+        model.add_linear_constraint([(u[t], 1.0)], ">=", 1.0, f"target[{t}]")
 
     # Eq. 25 contribution — minimize selected cells (∝ path length).
     model.set_objective(LinExpr.sum(u.values()))
@@ -95,8 +97,10 @@ def exact_wash_path(
         if not subtours:
             return _order_path(chip, chosen)
         for component in subtours:
-            model.add_constr(
-                LinExpr.sum(u[n] for n in component) <= len(component) - 1,
+            model.add_linear_constraint(
+                [(u[n], 1.0) for n in component],
+                "<=",
+                float(len(component) - 1),
                 f"subtour[{round_no}]",
             )
     raise WashError("exact path ILP did not converge (too many subtours)")

@@ -13,11 +13,43 @@ The scheduling ILP then selects one candidate per wash operation; with
 
 from __future__ import annotations
 
+import logging
+import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.chip import Chip, FlowPath
-from repro.arch.routing import Router, is_simple
+from repro.arch.routing import RoutedPath, Router, is_simple
 from repro.errors import RoutingError, WashError
+
+logger = logging.getLogger(__name__)
+
+#: Environment override for the pathgen worker count (see
+#: :func:`resolve_pathgen_workers`).
+WORKERS_ENV = "REPRO_PATHGEN_WORKERS"
+
+
+def resolve_pathgen_workers(config) -> int:
+    """Worker count for per-cluster candidate generation.
+
+    Precedence: a positive ``config.pathgen_workers`` wins, then a positive
+    :data:`WORKERS_ENV` environment value, then serial (1).  A malformed
+    environment value is warned about and ignored rather than failing the
+    run.
+    """
+    configured = int(getattr(config, "pathgen_workers", 0) or 0)
+    if configured > 0:
+        return configured
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            logger.warning("ignoring malformed %s=%r", WORKERS_ENV, raw)
+        else:
+            if value > 0:
+                return value
+            logger.warning("ignoring non-positive %s=%r", WORKERS_ENV, raw)
+    return 1
 
 
 def _bump(stats: Optional[Dict[str, int]], key: str) -> None:
@@ -50,9 +82,10 @@ def candidate_paths(
     scored: List[Tuple[float, FlowPath]] = []
     for fp in chip.flow_ports:
         for wp in chip.waste_ports:
-            path = _route(router, fp, targets, wp, foreign_devices, stats)
-            if path is not None:
-                scored.append((chip.path_length_mm(path), path))
+            routed = _route(router, fp, targets, wp, foreign_devices, stats)
+            if routed is not None:
+                path, length_mm = routed
+                scored.append((length_mm, path))
 
     # Simple paths strictly first; walks that double back are last resorts.
     scored.sort(key=lambda item: (not is_simple(item[1]), item[0], item[1]))
@@ -81,19 +114,21 @@ def _route(
     wp: str,
     foreign_devices: Set[str],
     stats: Optional[Dict[str, int]] = None,
-) -> FlowPath | None:
-    """One covering route for a port pair; ``None`` when unreachable.
+) -> RoutedPath | None:
+    """One covering route (with its length) for a port pair, or ``None``.
 
     Routing failures are expected here (many port pairs simply cannot
     reach the targets) but they must not vanish silently: each dropped
     detour constraint and each unroutable pair is counted into ``stats``.
+    The kernel already accumulated each path's physical length, so the
+    caller never re-walks the path to price it.
     """
     try:
-        return router.path_through(fp, sorted(targets), wp, avoid=foreign_devices)
+        return router.path_through_mm(fp, sorted(targets), wp, avoid=foreign_devices)
     except RoutingError:
         _bump(stats, "avoid_relaxed")
     try:
-        return router.path_through(fp, sorted(targets), wp)
+        return router.path_through_mm(fp, sorted(targets), wp)
     except RoutingError:
         _bump(stats, "unroutable_pairs")
         return None
@@ -121,9 +156,11 @@ def integration_candidates(
     for rm_path in removal_paths:
         interior = [n for n in rm_path if not chip.is_port(n)]
         union = sorted(set(targets) | set(interior))
-        cand = _route(router, rm_path[0], union, rm_path[-1], foreign_devices, stats)
-        if cand is not None and set(rm_path) <= set(cand) and is_simple(cand):
-            out.append(cand)
+        routed = _route(router, rm_path[0], union, rm_path[-1], foreign_devices, stats)
+        if routed is not None:
+            cand = routed[0]
+            if set(rm_path) <= set(cand) and is_simple(cand):
+                out.append(cand)
         if len(out) >= max_extra:
             break
     return out

@@ -22,6 +22,7 @@ window simply delays the blocking task.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,7 @@ from repro.ilp import (
     SolveStatus,
     Variable,
 )
+from repro.obs.trace import span
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import ScheduledTask, TaskKind
 
@@ -60,6 +62,7 @@ class IlpWashOutcome:
     n_constraints: int = 0
     rung: str = "highs"
     attempts: Tuple[RungAttempt, ...] = ()
+    build_time_s: float = 0.0
 
 
 class WashScheduleIlp:
@@ -90,6 +93,11 @@ class WashScheduleIlp:
         self._x: Dict[Tuple[str, int], Variable] = {}
         self._psi: Dict[Tuple[str, str], Variable] = {}
         self._psi_sum: Dict[str, LinExpr] = {}
+        #: Per-cluster wash-duration rows ``[(x_i, wash_time_i), ...]`` —
+        #: the coefficient form of :meth:`_wash_duration`, reused by every
+        #: batch constraint that mentions the selected wash duration.
+        self._wash_dur_terms: Dict[str, List[Tuple[Variable, float]]] = {}
+        self.build_time_s: float = 0.0
 
     # -- model assembly ---------------------------------------------------------
 
@@ -109,7 +117,32 @@ class WashScheduleIlp:
         return base
 
     def _end_expr(self, task: ScheduledTask) -> LinExpr:
+        """Reference form of ``end(task)``; the hot loops use the batch
+        coefficient rows of :meth:`_add_ge_end`, which mirror it exactly."""
         return LinExpr.from_any(self._t[task.id]) + self._duration_expr(task)
+
+    def _add_ge_end(
+        self,
+        var: Variable,
+        task: ScheduledTask,
+        name: str,
+        extra: Sequence[Tuple[Variable, float]] = (),
+        rhs_shift: float = 0.0,
+    ) -> None:
+        """Batch row for ``var >= end(task) [+ extra terms + rhs_shift]``.
+
+        With ``end(task) = t + d - d*sum(psi)`` (Eq. 7 absorption) the row
+        is ``var - t + d*sum(psi) + extra >= d + rhs_shift`` — identical to
+        what ``var >= self._end_expr(task) - ...`` builds through operators,
+        minus the intermediate LinExpr allocations.
+        """
+        d = float(task.duration)
+        coeffs: List[Tuple[Variable, float]] = [(var, 1.0), (self._t[task.id], -1.0)]
+        psi = self._psi_sum.get(task.id)
+        if psi is not None:
+            coeffs.extend((p, d * c) for p, c in psi.terms.items())
+        coeffs.extend(extra)
+        self.model.add_linear_constraint(coeffs, ">=", d + rhs_shift, name)
 
     def build(self) -> None:
         """Assemble all variables and constraints."""
@@ -129,7 +162,10 @@ class WashScheduleIlp:
             xs = [m.add_binary_var(f"x[{cluster.id},{i}]") for i in range(len(cands))]
             for i, x in enumerate(xs):
                 self._x[(cluster.id, i)] = x
-            m.add_constr(LinExpr.sum(xs) == 1, f"one_path[{cluster.id}]")
+            self._wash_dur_terms[cluster.id] = [
+                (x, float(self.chip.wash_time_s(cand))) for x, cand in zip(xs, cands)
+            ]
+            m.add_linear_constraint([(x, 1.0) for x in xs], "==", 1.0, f"one_path[{cluster.id}]")
 
         self._add_integration_vars()
         self._add_precedences()
@@ -159,21 +195,22 @@ class WashScheduleIlp:
                     continue
                 psi = m.add_binary_var(f"psi[{rm.id},{cluster.id}]")
                 self._psi[(rm.id, cluster.id)] = psi
-                m.add_constr(
-                    LinExpr.from_any(psi)
-                    <= LinExpr.sum(self._x[(cluster.id, i)] for i in covering),
+                m.add_linear_constraint(
+                    [(psi, 1.0)] + [(self._x[(cluster.id, i)], -1.0) for i in covering],
+                    "<=",
+                    0.0,
                     f"psi_cover[{rm.id},{cluster.id}]",
                 )
                 terms.append(psi)
             if terms:
-                total = LinExpr.sum(terms)
-                m.add_constr(total <= 1, f"psi_once[{rm.id}]")
-                self._psi_sum[rm.id] = total
+                m.add_linear_constraint(
+                    [(p, 1.0) for p in terms], "<=", 1.0, f"psi_once[{rm.id}]"
+                )
+                self._psi_sum[rm.id] = LinExpr.sum(terms)
 
     # -- precedence constraints (Eqs. 2, 4, 5) ----------------------------------------
 
     def _add_precedences(self) -> None:
-        m = self.model
         op_task: Dict[str, ScheduledTask] = {
             t.op_id: t for t in self.tasks if t.kind is TaskKind.OPERATION
         }
@@ -189,56 +226,54 @@ class WashScheduleIlp:
             waste = group.get(TaskKind.WASTE)
             producer = op_task.get(src)
             if transport is not None and producer is not None:
-                m.add_constr(
-                    LinExpr.from_any(self._t[transport.id]) >= self._end_expr(producer),
-                    f"prec_tr[{transport.id}]",
+                self._add_ge_end(
+                    self._t[transport.id], producer, f"prec_tr[{transport.id}]"
                 )
             if removal is not None and transport is not None:
-                m.add_constr(
-                    LinExpr.from_any(self._t[removal.id]) >= self._end_expr(transport),
-                    f"prec_rm[{removal.id}]",
+                self._add_ge_end(
+                    self._t[removal.id], transport, f"prec_rm[{removal.id}]"
                 )
             consumer = op_task.get(dst)
             if consumer is not None:
                 if removal is not None:
-                    m.add_constr(
-                        LinExpr.from_any(self._t[consumer.id]) >= self._end_expr(removal),
+                    self._add_ge_end(
+                        self._t[consumer.id],
+                        removal,
                         f"prec_op_rm[{consumer.id},{removal.id}]",
                     )
                 elif transport is not None:
-                    m.add_constr(
-                        LinExpr.from_any(self._t[consumer.id]) >= self._end_expr(transport),
+                    self._add_ge_end(
+                        self._t[consumer.id],
+                        transport,
                         f"prec_op_tr[{consumer.id},{transport.id}]",
                     )
                 elif producer is not None:
                     # Same-device hand-off: no transport task exists.
-                    m.add_constr(
-                        LinExpr.from_any(self._t[consumer.id]) >= self._end_expr(producer),
+                    self._add_ge_end(
+                        self._t[consumer.id],
+                        producer,
                         f"prec_op_op[{consumer.id},{producer.id}]",
                     )
             if waste is not None and producer is not None:
-                m.add_constr(
-                    LinExpr.from_any(self._t[waste.id]) >= self._end_expr(producer),
-                    f"prec_ws[{waste.id}]",
+                self._add_ge_end(
+                    self._t[waste.id], producer, f"prec_ws[{waste.id}]"
                 )
 
     # -- fixed relative order of node-sharing baseline tasks (Eqs. 3, 8) ---------------
 
     def _add_baseline_order(self) -> None:
-        m = self.model
         ordered = sorted(self.tasks, key=lambda t: (t.start, t.end, t.id))
+        node_sets = [set(t.occupied_nodes) for t in ordered]
         for i, a in enumerate(ordered):
-            nodes_a = set(a.occupied_nodes)
-            for b in ordered[i + 1:]:
+            nodes_a = node_sets[i]
+            for j in range(i + 1, len(ordered)):
+                b = ordered[j]
                 if a.kind is TaskKind.OPERATION and b.kind is TaskKind.OPERATION:
                     if a.device != b.device:
                         continue
-                elif not (nodes_a & set(b.occupied_nodes)):
+                elif not (nodes_a & node_sets[j]):
                     continue
-                m.add_constr(
-                    LinExpr.from_any(self._t[b.id]) >= self._end_expr(a),
-                    f"order[{a.id},{b.id}]",
-                )
+                self._add_ge_end(self._t[b.id], a, f"order[{a.id},{b.id}]")
 
     # -- wash windows (Eq. 16) -----------------------------------------------------------
 
@@ -260,16 +295,15 @@ class WashScheduleIlp:
         m = self.model
         for cluster in self.clusters:
             tw = self._wash_t[cluster.id]
-            dur = self._wash_duration(cluster)
+            neg_dur = [(x, -wt) for x, wt in self._wash_dur_terms[cluster.id]]
             for source_id in sorted(cluster.source_tasks):
                 source = self.baseline.get(source_id)
-                m.add_constr(
-                    LinExpr.from_any(tw) >= self._end_expr(source),
-                    f"wash_after[{cluster.id},{source_id}]",
-                )
+                self._add_ge_end(tw, source, f"wash_after[{cluster.id},{source_id}]")
             for blocker_id in sorted(cluster.blocking_tasks):
-                m.add_constr(
-                    LinExpr.from_any(self._t[blocker_id]) >= LinExpr.from_any(tw) + dur,
+                m.add_linear_constraint(
+                    [(self._t[blocker_id], 1.0), (tw, -1.0)] + neg_dur,
+                    ">=",
+                    0.0,
                     f"wash_before[{cluster.id},{blocker_id}]",
                 )
 
@@ -278,77 +312,87 @@ class WashScheduleIlp:
     def _add_wash_conflicts(self) -> None:
         m = self.model
         big = float(self.horizon)
+        task_nodes = [(task, set(task.occupied_nodes)) for task in self.tasks]
         for cluster in self.clusters:
-            tw = LinExpr.from_any(self._wash_t[cluster.id])
-            dur = self._wash_duration(cluster)
+            tw = self._wash_t[cluster.id]
+            neg_dur = [(x, -wt) for x, wt in self._wash_dur_terms[cluster.id]]
             exempt = cluster.source_tasks | cluster.blocking_tasks
             mu_of: Dict[str, Variable] = {}
             for i, cand in enumerate(self.candidates[cluster.id]):
                 cand_nodes = set(cand)
-                x = LinExpr.from_any(self._x[(cluster.id, i)])
-                for task in self.tasks:
+                x = self._x[(cluster.id, i)]
+                for task, nodes in task_nodes:
                     if task.id in exempt:
                         continue
-                    if not (cand_nodes & set(task.occupied_nodes)):
+                    if not (cand_nodes & nodes):
                         continue
                     mu = mu_of.get(task.id)
                     if mu is None:
                         mu = m.add_binary_var(f"mu[{cluster.id},{task.id}]")
                         mu_of[task.id] = mu
                     psi = self._psi.get((task.id, cluster.id))
-                    absorbed_slack = (
-                        big * LinExpr.from_any(psi) if psi is not None else LinExpr()
-                    )
-                    tp = LinExpr.from_any(self._t[task.id])
+                    tp = self._t[task.id]
                     # μ = 1: wash after the task; μ = 0: task after the wash.
-                    m.add_constr(
-                        tw
-                        >= tp
-                        + self._duration_expr(task)
-                        - big * (1 - LinExpr.from_any(mu))
-                        - big * (1 - x)
-                        - absorbed_slack,
+                    # w_after: tw >= tp + dur(task) - M(1-μ) - M(1-x) - Mψ
+                    # as a batch row (Eq. 7 absorption folded into +dψ terms).
+                    d = float(task.duration)
+                    after: List[Tuple[Variable, float]] = [
+                        (tw, 1.0), (tp, -1.0), (mu, -big), (x, -big)
+                    ]
+                    psum = self._psi_sum.get(task.id)
+                    if psum is not None:
+                        after.extend((p, d * c) for p, c in psum.terms.items())
+                    if psi is not None:
+                        after.append((psi, big))
+                    m.add_linear_constraint(
+                        after, ">=", d - 2.0 * big,
                         f"w_after[{cluster.id},{i},{task.id}]",
                     )
-                    m.add_constr(
-                        tp
-                        >= tw
-                        + dur
-                        - big * LinExpr.from_any(mu)
-                        - big * (1 - x)
-                        - absorbed_slack,
+                    # w_before: tp >= tw + dur(wash) - Mμ - M(1-x) - Mψ
+                    before: List[Tuple[Variable, float]] = [
+                        (tp, 1.0), (tw, -1.0), (mu, big), (x, -big)
+                    ]
+                    before.extend(neg_dur)
+                    if psi is not None:
+                        before.append((psi, big))
+                    m.add_linear_constraint(
+                        before, ">=", -big,
                         f"w_before[{cluster.id},{i},{task.id}]",
                     )
 
         # wash-wash conflicts (Eq. 20)
+        cand_sets = {
+            c.id: [set(cand) for cand in self.candidates[c.id]] for c in self.clusters
+        }
         for a_idx, a in enumerate(self.clusters):
+            neg_dur_a = [(x, -wt) for x, wt in self._wash_dur_terms[a.id]]
+            ta = self._wash_t[a.id]
             for b in self.clusters[a_idx + 1:]:
+                neg_dur_b = [(x, -wt) for x, wt in self._wash_dur_terms[b.id]]
+                tb = self._wash_t[b.id]
                 eta: Optional[Variable] = None
-                for i, cand_a in enumerate(self.candidates[a.id]):
-                    for j, cand_b in enumerate(self.candidates[b.id]):
-                        if not (set(cand_a) & set(cand_b)):
+                for i, nodes_a in enumerate(cand_sets[a.id]):
+                    for j, nodes_b in enumerate(cand_sets[b.id]):
+                        if not (nodes_a & nodes_b):
                             continue
                         if eta is None:
                             eta = m.add_binary_var(f"eta[{a.id},{b.id}]")
-                        slack = big * (
-                            2
-                            - LinExpr.from_any(self._x[(a.id, i)])
-                            - LinExpr.from_any(self._x[(b.id, j)])
-                        )
-                        ta = LinExpr.from_any(self._wash_t[a.id])
-                        tb = LinExpr.from_any(self._wash_t[b.id])
-                        m.add_constr(
-                            ta
-                            >= tb + self._wash_duration(b)
-                            - big * (1 - LinExpr.from_any(eta))
-                            - slack,
+                        xa = self._x[(a.id, i)]
+                        xb = self._x[(b.id, j)]
+                        # η = 1: wash a after wash b, else b after a; both
+                        # rows relax by M(2 - x_a - x_b) unless selected.
+                        m.add_linear_constraint(
+                            [(ta, 1.0), (tb, -1.0), (eta, -big), (xa, -big), (xb, -big)]
+                            + neg_dur_b,
+                            ">=",
+                            -3.0 * big,
                             f"ww_a[{a.id},{b.id},{i},{j}]",
                         )
-                        m.add_constr(
-                            tb
-                            >= ta + self._wash_duration(a)
-                            - big * LinExpr.from_any(eta)
-                            - slack,
+                        m.add_linear_constraint(
+                            [(tb, 1.0), (ta, -1.0), (eta, big), (xa, -big), (xb, -big)]
+                            + neg_dur_a,
+                            ">=",
+                            -2.0 * big,
                             f"ww_b[{a.id},{b.id},{i},{j}]",
                         )
 
@@ -366,27 +410,31 @@ class WashScheduleIlp:
         }
         for (rm_id, cluster_id), psi in self._psi.items():
             rm = self.baseline.get(rm_id)
-            cluster = next(c for c in self.clusters if c.id == cluster_id)
-            tw = LinExpr.from_any(self._wash_t[cluster_id])
-            dur = self._wash_duration(cluster)
-            slack = big * (1 - LinExpr.from_any(psi))
+            tw = self._wash_t[cluster_id]
+            neg_dur = [(x, -wt) for x, wt in self._wash_dur_terms[cluster_id]]
             group = by_edge.get(rm.edge or ("", ""), {})
             transport = group.get(TaskKind.TRANSPORT)
             consumer = op_task.get(rm.edge[1]) if rm.edge else None
             if transport is None or consumer is None:
                 # Cannot prove the wash covers the removal's timing role.
-                m.add_constr(LinExpr.from_any(psi) <= 0, f"psi_off[{rm_id},{cluster_id}]")
-                continue
-            if transport is not None:
-                # The wash plays the removal's role: start after the
-                # transport that cached the excess fluid...
-                m.add_constr(
-                    tw >= self._end_expr(transport) - slack,
-                    f"psi_after[{rm_id},{cluster_id}]",
+                m.add_linear_constraint(
+                    [(psi, 1.0)], "<=", 0.0, f"psi_off[{rm_id},{cluster_id}]"
                 )
+                continue
+            # The wash plays the removal's role: start after the transport
+            # that cached the excess fluid (slack M(1-ψ) when not absorbed)...
+            self._add_ge_end(
+                tw,
+                transport,
+                f"psi_after[{rm_id},{cluster_id}]",
+                extra=[(psi, -big)],
+                rhs_shift=-big,
+            )
             # ... and finish before the consuming operation starts.
-            m.add_constr(
-                LinExpr.from_any(self._t[consumer.id]) >= tw + dur - slack,
+            m.add_linear_constraint(
+                [(self._t[consumer.id], 1.0), (tw, -1.0), (psi, -big)] + neg_dur,
+                ">=",
+                -big,
                 f"psi_before[{rm_id},{cluster_id}]",
             )
 
@@ -396,14 +444,13 @@ class WashScheduleIlp:
         m = self.model
         t_assay = m.add_integer_var("T_assay", 0, self.horizon)
         for task in self.tasks:
-            m.add_constr(
-                LinExpr.from_any(t_assay) >= self._end_expr(task),
-                f"T_ge[{task.id}]",
-            )
+            self._add_ge_end(t_assay, task, f"T_ge[{task.id}]")
         for cluster in self.clusters:
-            m.add_constr(
-                LinExpr.from_any(t_assay)
-                >= LinExpr.from_any(self._wash_t[cluster.id]) + self._wash_duration(cluster),
+            m.add_linear_constraint(
+                [(t_assay, 1.0), (self._wash_t[cluster.id], -1.0)]
+                + [(x, -wt) for x, wt in self._wash_dur_terms[cluster.id]],
+                ">=",
+                0.0,
                 f"T_ge_wash[{cluster.id}]",
             )
         length_total = LinExpr.sum(self._wash_length(c) for c in self.clusters)
@@ -428,7 +475,10 @@ class WashScheduleIlp:
         propagates so the ILP stage can fall back to greedy assembly.
         """
         if not self.model.variables:
-            self.build()
+            started = time.perf_counter()
+            with span("ilp.build", model=self.model.name):
+                self.build()
+            self.build_time_s = time.perf_counter() - started
         pf = portfolio if portfolio is not None else SolverPortfolio.from_config(self.config)
         result = pf.solve(self.model)
         solution = result.solution
@@ -471,4 +521,5 @@ class WashScheduleIlp:
             n_constraints=len(self.model.constraints),
             rung=result.rung,
             attempts=result.attempts,
+            build_time_s=self.build_time_s,
         )

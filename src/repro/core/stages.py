@@ -24,15 +24,22 @@ alone, so whichever runs first populates the artifact the other reuses.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.arch.pathkernel import kernel_for
 from repro.contam import ContaminationTracker, wash_requirements
 from repro.contam.necessity import NecessityReport
 from repro.core.config import PDWConfig
 from repro.core.fallback import greedy_outcome
 from repro.core.path_ilp import exact_wash_path
-from repro.core.pathgen import candidate_paths, integration_candidates
+from repro.core.pathgen import (
+    candidate_paths,
+    integration_candidates,
+    resolve_pathgen_workers,
+)
+from repro.obs import metrics
 from repro.core.plan import WashOperation, WashPlan
 from repro.core.schedule_ilp import IlpWashOutcome, WashScheduleIlp
 from repro.core.targets import WashCluster, cluster_requirements
@@ -151,18 +158,32 @@ class PathgenResult:
     The skip counters (``avoid_relaxed``, ``unroutable_pairs``,
     ``exact_fallbacks``) are part of the cached artifact so the silent
     routing failures inside path generation stay visible in the run
-    report even on cache hits.
+    report even on cache hits.  ``routing_cache_hits`` / ``_misses`` are
+    the kernel path-cache deltas accumulated while the pools were built;
+    ``workers`` is the thread-pool width that built them (not part of the
+    cache key — every width produces identical pools).
     """
 
     candidates: Dict[str, List]
     skips: Dict[str, int] = field(default_factory=dict)
+    routing_cache_hits: int = 0
+    routing_cache_misses: int = 0
+    workers: int = 1
 
 
 class PathGenStage(StageBase):
-    """Candidate wash paths per cluster (Section II-C, optionally exact)."""
+    """Candidate wash paths per cluster (Section II-C, optionally exact).
+
+    Clusters are independent, so their candidate pools are generated on a
+    thread pool (``PDWConfig.pathgen_workers`` / ``REPRO_PATHGEN_WORKERS``;
+    serial by default).  Each cluster gets a private stats dict and the
+    merge walks clusters in their original order, so the artifact is
+    byte-identical for every worker count — which is also why ``workers``
+    stays out of the cache key.
+    """
 
     name = "pathgen"
-    version = "2"
+    version = "3"
 
     def key(self, ctx: PDWContext):
         cfg = ctx.config
@@ -182,11 +203,14 @@ class PathGenStage(StageBase):
         config = ctx.config
         removals = ctx.synthesis.schedule.tasks(TaskKind.REMOVAL)
         window = config.integration_window_s
-        candidates: Dict[str, List] = {}
-        skips: Dict[str, int] = {}
-        for cluster in ctx.clusters:
+        workers = resolve_pathgen_workers(config)
+        kernel = kernel_for(chip)
+        hits_before, misses_before = kernel.cache_hits, kernel.cache_misses
+
+        def one_cluster(cluster) -> Tuple[List, Dict[str, int]]:
+            stats: Dict[str, int] = {}
             pool = candidate_paths(
-                chip, sorted(cluster.targets), config.max_candidates, stats=skips
+                chip, sorted(cluster.targets), config.max_candidates, stats=stats
             )
             seen: Set[Tuple[str, ...]] = {tuple(p) for p in pool}
             if config.enable_integration:
@@ -197,7 +221,7 @@ class PathGenStage(StageBase):
                     and rm.end >= cluster.release - window
                 ]
                 for cand in integration_candidates(
-                    chip, sorted(cluster.targets), nearby, stats=skips
+                    chip, sorted(cluster.targets), nearby, stats=stats
                 ):
                     if tuple(cand) not in seen:
                         pool.append(cand)
@@ -211,15 +235,48 @@ class PathGenStage(StageBase):
                 except WashError:
                     # Fall back to the greedy pool — but count the skip so
                     # the degraded path quality is visible in the report.
-                    skips["exact_fallbacks"] = skips.get("exact_fallbacks", 0) + 1
+                    stats["exact_fallbacks"] = stats.get("exact_fallbacks", 0) + 1
+            return pool, stats
+
+        if workers > 1 and len(ctx.clusters) > 1:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="pathgen"
+            ) as executor:
+                # executor.map preserves input order, so the merge below is
+                # deterministic regardless of completion order.
+                results = list(executor.map(one_cluster, ctx.clusters))
+        else:
+            results = [one_cluster(cluster) for cluster in ctx.clusters]
+
+        candidates: Dict[str, List] = {}
+        skips: Dict[str, int] = {}
+        for cluster, (pool, stats) in zip(ctx.clusters, results):
             candidates[cluster.id] = pool
-        return PathgenResult(candidates=candidates, skips=skips)
+            for key, value in stats.items():
+                skips[key] = skips.get(key, 0) + value
+
+        hits = kernel.cache_hits - hits_before
+        misses = kernel.cache_misses - misses_before
+        reg = metrics.registry()
+        reg.counter("pdw_routing_cache_hits_total", chip=chip.name).inc(hits)
+        reg.counter("pdw_routing_cache_misses_total", chip=chip.name).inc(misses)
+        reg.gauge("pdw_pathgen_workers").set(float(workers))
+        return PathgenResult(
+            candidates=candidates,
+            skips=skips,
+            routing_cache_hits=hits,
+            routing_cache_misses=misses,
+            workers=workers,
+        )
 
     def counters(self, result: PathgenResult) -> Dict[str, float]:
         pools = list(result.candidates.values())
         stats = {
             "pools": float(len(pools)),
             "candidates": float(sum(len(p) for p in pools)),
+            "routing_cache_hits": float(result.routing_cache_hits),
+            "routing_cache_misses": float(result.routing_cache_misses),
+            "workers": float(result.workers),
         }
         stats.update({k: float(v) for k, v in sorted(result.skips.items())})
         return stats
@@ -236,7 +293,7 @@ class ScheduleIlpStage(StageBase):
     """
 
     name = "ilp"
-    version = "2"
+    version = "3"
 
     def key(self, ctx: PDWContext):
         # The outcome depends on every config field (weights, limits, ...)
@@ -260,6 +317,7 @@ class ScheduleIlpStage(StageBase):
     def counters(self, outcome: IlpWashOutcome) -> Dict[str, float]:
         stats = {
             "solve_time_s": round(outcome.solve_time_s, 6),
+            "build_time_s": round(outcome.build_time_s, 6),
             "objective": round(outcome.objective, 6),
             "variables": float(outcome.n_variables),
             "binaries": float(outcome.n_binaries),

@@ -32,7 +32,7 @@ Example
 21.0
 """
 
-from repro.ilp.expr import LinExpr, Variable, VarType
+from repro.ilp.expr import LinExpr, LinExprBuilder, Variable, VarType
 from repro.ilp.model import Constraint, Model
 from repro.ilp.solution import Solution, SolveStatus
 from repro.ilp.solver import HighsOptions, solve
@@ -47,6 +47,7 @@ __all__ = [
     "FaultSpec",
     "HighsOptions",
     "LinExpr",
+    "LinExprBuilder",
     "Model",
     "PortfolioResult",
     "RungAttempt",

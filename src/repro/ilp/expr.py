@@ -111,6 +111,19 @@ class LinExpr:
 
     # -- construction helpers -------------------------------------------
 
+    @classmethod
+    def _raw(cls, terms: Dict[Variable, float], constant: float) -> "LinExpr":
+        """Internal constructor adopting ``terms`` without copying.
+
+        The caller hands over ownership of the dict — used by the
+        arithmetic fast paths and :class:`LinExprBuilder` so building an
+        N-term expression allocates one dict, not N.
+        """
+        out = cls.__new__(cls)
+        out.terms = terms
+        out.constant = constant
+        return out
+
     @staticmethod
     def from_any(value: ExprLike) -> "LinExpr":
         """Coerce a variable, number, or expression into a :class:`LinExpr`."""
@@ -124,11 +137,18 @@ class LinExpr:
 
     @staticmethod
     def sum(items: Iterable[ExprLike]) -> "LinExpr":
-        """Sum an iterable of expression-likes (faster than built-in sum)."""
-        out = LinExpr()
+        """Sum an iterable of expression-likes in linear time.
+
+        Unlike built-in ``sum`` (or the pre-optimization version of this
+        method), no intermediate expressions are allocated: a single
+        :class:`LinExprBuilder` accumulates every term in place, so
+        summing N expressions costs O(total terms), not O(N^2) dict
+        copies.
+        """
+        builder = LinExprBuilder()
         for item in items:
-            out = out + item
-        return out
+            builder.add(item)
+        return builder.build()
 
     def copy(self) -> "LinExpr":
         return LinExpr(dict(self.terms), self.constant)
@@ -136,11 +156,18 @@ class LinExpr:
     # -- arithmetic ------------------------------------------------------
 
     def __add__(self, other: ExprLike) -> "LinExpr":
+        # Fast paths: one dict copy, no intermediate LinExpr wrappers.
+        if isinstance(other, Variable):
+            terms = dict(self.terms)
+            terms[other] = terms.get(other, 0.0) + 1.0
+            return LinExpr._raw(terms, self.constant)
+        if isinstance(other, (int, float)):
+            return LinExpr._raw(dict(self.terms), self.constant + other)
         rhs = LinExpr.from_any(other)
         terms = dict(self.terms)
         for var, coef in rhs.terms.items():
             terms[var] = terms.get(var, 0.0) + coef
-        return LinExpr(terms, self.constant + rhs.constant)
+        return LinExpr._raw(terms, self.constant + rhs.constant)
 
     def __radd__(self, other: ExprLike) -> "LinExpr":
         return self + other
@@ -196,3 +223,54 @@ class LinExpr:
         if self.constant or not parts:
             parts.append(f"{self.constant:+g}")
         return " ".join(parts)
+
+
+class LinExprBuilder:
+    """In-place accumulator for building a :class:`LinExpr` from many parts.
+
+    ``LinExpr.__add__`` returns a fresh expression per call, so folding N
+    expressions through it copies the growing term dict N times.  The
+    builder keeps one mutable dict, merges each added item into it, and
+    hands the dict over to the final expression via :meth:`build` —
+    :meth:`LinExpr.sum` and the hot formulation loops use it to stay
+    linear in the total number of terms.
+    """
+
+    __slots__ = ("_terms", "_constant")
+
+    def __init__(self) -> None:
+        self._terms: Dict[Variable, float] = {}
+        self._constant = 0.0
+
+    def add(self, item: ExprLike, scale: float = 1.0) -> "LinExprBuilder":
+        """Accumulate ``scale * item``; returns self for chaining."""
+        terms = self._terms
+        if isinstance(item, Variable):
+            terms[item] = terms.get(item, 0.0) + scale
+        elif isinstance(item, LinExpr):
+            if scale == 1.0:
+                for var, coef in item.terms.items():
+                    terms[var] = terms.get(var, 0.0) + coef
+                self._constant += item.constant
+            else:
+                for var, coef in item.terms.items():
+                    terms[var] = terms.get(var, 0.0) + coef * scale
+                self._constant += item.constant * scale
+        elif isinstance(item, (int, float)):
+            self._constant += item * scale
+        else:
+            raise TypeError(
+                f"cannot accumulate {type(item).__name__} into a linear expression"
+            )
+        return self
+
+    def build(self) -> LinExpr:
+        """Finish and return the accumulated expression.
+
+        The builder resets afterwards, so it can be reused; the returned
+        expression owns the term dict (no copy).
+        """
+        out = LinExpr._raw(self._terms, float(self._constant))
+        self._terms = {}
+        self._constant = 0.0
+        return out

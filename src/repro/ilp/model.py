@@ -14,8 +14,9 @@ captures exactly that pattern.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ModelError
 from repro.ilp.expr import ExprLike, LinExpr, Variable, VarType
@@ -23,6 +24,12 @@ from repro.ilp.solution import Solution
 
 #: Constraint senses as stored internally.
 SENSES = ("<=", ">=", "==")
+
+#: Compact sense encoding used by the triplet buffers.
+SENSE_CODES = {"<=": 0, ">=": 1, "==": 2}
+
+#: Coefficients accepted by :meth:`Model.add_linear_constraint`.
+CoeffsLike = Union[Mapping[Variable, float], Iterable[Tuple[Variable, float]]]
 
 
 @dataclass
@@ -67,6 +74,14 @@ class Model:
         self.objective: LinExpr = LinExpr()
         self.objective_sense: str = "min"
         self._names: set[str] = set()
+        # Triplet buffers mirroring `constraints` in sparse COO form, kept
+        # in sync by both add paths so the solver can assemble its matrix
+        # without re-walking every LinExpr (see `constraint_arrays`).
+        self._rows = array("l")
+        self._cols = array("l")
+        self._vals = array("d")
+        self._sense_codes = array("b")
+        self._rhs = array("d")
 
     # ------------------------------------------------------------------
     # variables
@@ -122,6 +137,7 @@ class Model:
             if var.index >= len(self.variables) or self.variables[var.index] is not var:
                 raise ModelError(f"variable {var.name!r} belongs to a different model")
         constr = Constraint(expr.simplified(), sense, name)
+        self._append_row(constr.expr.terms, sense, -constr.expr.constant)
         self.constraints.append(constr)
         return constr
 
@@ -131,6 +147,75 @@ class Model:
         for i, rel in enumerate(relations):
             out.append(self.add_constr(rel, f"{prefix}_{i}" if prefix else ""))
         return out
+
+    def add_linear_constraint(
+        self,
+        coeffs: CoeffsLike,
+        sense: str,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        """Batch API: add ``sum(coef * var) <sense> rhs`` from raw coefficients.
+
+        ``coeffs`` is a ``{var: coef}`` mapping or an iterable of
+        ``(var, coef)`` pairs; repeated variables are summed and exact-zero
+        coefficients dropped, matching what the operator-overloading path
+        produces.  The row is appended straight into the model's triplet
+        buffers, bypassing every intermediate :class:`LinExpr` the
+        ``lhs <= rhs`` comparison chain would allocate — this is the hot
+        path for the PDW formulation loops.  The equivalent
+        :class:`Constraint` object is still recorded so diagnostics
+        (``check_solution``), the branch-and-bound fallback, and the LP
+        writer see an identical model.
+        """
+        if sense not in SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        variables = self.variables
+        n_vars = len(variables)
+        terms: Dict[Variable, float] = {}
+        for var, coef in items:
+            prev = terms.get(var)
+            if prev is None:
+                if var.index >= n_vars or variables[var.index] is not var:
+                    raise ModelError(
+                        f"variable {var.name!r} belongs to a different model"
+                    )
+                terms[var] = float(coef)
+            else:
+                terms[var] = prev + coef
+        if 0.0 in terms.values():
+            terms = {v: c for v, c in terms.items() if c != 0.0}
+        rhs = float(rhs)
+        self._append_row(terms, sense, rhs)
+        constr = Constraint(LinExpr._raw(terms, -rhs), sense, name)
+        self.constraints.append(constr)
+        return constr
+
+    def _append_row(self, terms: Mapping[Variable, float], sense: str, rhs: float) -> None:
+        """Append one constraint row to the COO triplet buffers."""
+        row = len(self.constraints)
+        rows, cols, vals = self._rows, self._cols, self._vals
+        for var, coef in terms.items():
+            rows.append(row)
+            cols.append(var.index)
+            vals.append(coef)
+        self._sense_codes.append(SENSE_CODES[sense])
+        self._rhs.append(rhs)
+
+    def constraint_arrays(self):
+        """The constraint matrix in COO triplet form, or ``None``.
+
+        Returns ``(rows, cols, vals, sense_codes, rhs)`` — ``array``-backed
+        buffers suitable for zero-copy :func:`numpy.asarray` — when the
+        buffers cover every recorded constraint.  Returns ``None`` when
+        they fell out of sync (only possible if external code mutated
+        ``constraints`` directly), in which case callers must rebuild from
+        the :class:`Constraint` objects.
+        """
+        if len(self._rhs) != len(self.constraints):
+            return None
+        return self._rows, self._cols, self._vals, self._sense_codes, self._rhs
 
     # ------------------------------------------------------------------
     # big-M / indicator patterns (Eqs. 2, 3, 8, 19, 20)

@@ -36,11 +36,22 @@ class TestPdwCacheEquivalence:
     def test_report_exposes_all_stages(self, demo_synthesis, cache):
         plan = optimize_washes(demo_synthesis, PDWConfig(time_limit_s=30.0), cache=cache)
         names = plan.report.stage_names()
-        # Solver-ladder rung records ride along after the ilp stage.
-        assert [n for n in names if not n.startswith("ilp.rung.")] == PDW_STAGES
+        # Model-build and solver-ladder rung records ride along after the
+        # ilp stage.
+        assert [
+            n for n in names if not n.startswith(("ilp.rung.", "ilp.build"))
+        ] == PDW_STAGES
         assert any(n.startswith("ilp.rung.") for n in names)
+        assert "ilp.build" in names
         ilp = plan.report.get("ilp")
-        for stat in ("solve_time_s", "objective", "variables", "binaries", "constraints"):
+        for stat in (
+            "solve_time_s",
+            "build_time_s",
+            "objective",
+            "variables",
+            "binaries",
+            "constraints",
+        ):
             assert stat in ilp.counters
         assert plan.notes["stage.ilp.variables"] == ilp.counters["variables"]
 

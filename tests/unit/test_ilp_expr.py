@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.ilp import LinExpr, Model
+from repro.ilp import LinExpr, LinExprBuilder, Model
 
 
 @pytest.fixture
@@ -97,6 +97,61 @@ class TestLinExprArithmetic:
     def test_from_any_rejects_strings(self):
         with pytest.raises(TypeError):
             LinExpr.from_any("nope")  # type: ignore[arg-type]
+
+
+class TestLinExprBuilder:
+    def test_accumulates_variables_exprs_and_constants(self, model):
+        x, y = model.add_continuous_var("x"), model.add_continuous_var("y")
+        expr = (
+            LinExprBuilder()
+            .add(x)
+            .add(2 * y + 1, scale=1.0)
+            .add(3)
+            .add(x, scale=0.5)
+            .build()
+        )
+        assert expr.terms == {x: 1.5, y: 2.0}
+        assert expr.constant == 4.0
+
+    def test_scaled_expr(self, model):
+        x = model.add_continuous_var("x")
+        expr = LinExprBuilder().add(x + 2, scale=3.0).build()
+        assert expr.terms == {x: 3.0}
+        assert expr.constant == 6.0
+
+    def test_build_resets_builder(self, model):
+        x = model.add_continuous_var("x")
+        b = LinExprBuilder()
+        first = b.add(x).build()
+        second = b.add(x, scale=2.0).build()
+        assert first.terms == {x: 1.0}
+        assert second.terms == {x: 2.0}
+
+    def test_rejects_unknown_operands(self):
+        with pytest.raises(TypeError):
+            LinExprBuilder().add("nope")  # type: ignore[arg-type]
+
+
+class TestSumLinearity:
+    def test_sum_never_calls_add(self, model, monkeypatch):
+        """Regression: ``LinExpr.sum`` must not fold via ``__add__``.
+
+        The old implementation reduced with ``+``, copying the growing
+        accumulator dict once per operand — O(N^2) over N expressions.
+        The builder-backed version keeps one mutable dict, so ``__add__``
+        (and its dict-copying cost) never runs.
+        """
+
+        def boom(self, other):
+            raise AssertionError("LinExpr.sum fell back to quadratic __add__")
+
+        vs = [model.add_continuous_var(f"v{i}") for i in range(50)]
+        exprs = [2.0 * v + 1.0 for v in vs]
+        monkeypatch.setattr(LinExpr, "__add__", boom)
+        monkeypatch.setattr(LinExpr, "__radd__", boom)
+        total = LinExpr.sum(exprs + [5.0])
+        assert total.constant == 55.0
+        assert total.terms == {v: 2.0 for v in vs}
 
 
 class TestComparisons:

@@ -1,9 +1,11 @@
 """Unit tests for Model construction and the big-M helper patterns."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ModelError
 from repro.ilp import LinExpr, Model, SolveStatus
+from repro.ilp.solver import _build_matrices
 
 
 class TestModelConstruction:
@@ -42,6 +44,104 @@ class TestModelConstruction:
         x = m.add_continuous_var("x")
         cs = m.add_constrs([x >= 0, x <= 5], prefix="p")
         assert [c.name for c in cs] == ["p_0", "p_1"]
+
+
+def _matrices(model):
+    """Dense (c, integrality, lb, ub, A, lo, hi) of a model."""
+    c, integrality, bounds, lin = _build_matrices(model)
+    a = lin.A
+    if hasattr(a, "toarray"):
+        a = a.toarray()
+    return c, integrality, bounds.lb, bounds.ub, np.asarray(a), lin.lb, lin.ub
+
+
+def assert_same_matrices(m1, m2):
+    for left, right in zip(_matrices(m1), _matrices(m2)):
+        np.testing.assert_allclose(left, right)
+
+
+class TestAddLinearConstraint:
+    def _twin_models(self):
+        ms = []
+        for name in ("op", "batch"):
+            m = Model(name)
+            x = m.add_continuous_var("x", 0, 10)
+            y = m.add_integer_var("y", 0, 5)
+            z = m.add_binary_var("z")
+            m.set_objective(x + 2 * y + 3 * z)
+            ms.append((m, x, y, z))
+        return ms
+
+    def test_matches_operator_constraints_exactly(self):
+        (m_op, x1, y1, z1), (m_b, x2, y2, z2) = self._twin_models()
+        m_op.add_constr(x1 + 2 * y1 <= 5, "c0")
+        m_op.add_constr(3 * x1 - y1 + z1 >= -2, "c1")
+        m_op.add_constr(LinExpr.from_any(z1) == 1, "c2")
+        m_b.add_linear_constraint([(x2, 1.0), (y2, 2.0)], "<=", 5, "c0")
+        m_b.add_linear_constraint([(x2, 3.0), (y2, -1.0), (z2, 1.0)], ">=", -2, "c1")
+        m_b.add_linear_constraint([(z2, 1.0)], "==", 1, "c2")
+        assert_same_matrices(m_op, m_b)
+        for c_op, c_b in zip(m_op.constraints, m_b.constraints):
+            assert c_op.sense == c_b.sense
+            assert c_op.expr.constant == c_b.expr.constant
+            assert {v.name: k for v, k in c_op.expr.terms.items()} == {
+                v.name: k for v, k in c_b.expr.terms.items()
+            }
+
+    def test_fast_path_matches_python_fallback(self):
+        (m, x, y, z), _ = self._twin_models()
+        m.add_linear_constraint([(x, 1.0), (y, 2.0)], "<=", 5)
+        m.add_constr(3 * x - y + z >= -2)
+        m.add_linear_constraint({z: 1.0}, "==", 1)
+        assert m.constraint_arrays() is not None
+        fast = _matrices(m)
+        m.constraint_arrays = lambda: None  # force the Python loop
+        slow = _matrices(m)
+        for left, right in zip(fast, slow):
+            np.testing.assert_allclose(left, right)
+
+    def test_duplicate_coefficients_merge(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        c = m.add_linear_constraint([(x, 1.0), (x, 2.0)], "<=", 6)
+        assert c.expr.terms == {x: 3.0}
+
+    def test_cancelled_coefficients_drop(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        y = m.add_continuous_var("y")
+        c = m.add_linear_constraint([(x, 1.0), (x, -1.0), (y, 2.0)], "<=", 6)
+        assert c.expr.terms == {y: 2.0}
+
+    def test_unknown_sense_rejected(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        with pytest.raises(ModelError):
+            m.add_linear_constraint([(x, 1.0)], "<", 1)
+
+    def test_foreign_variable_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.add_continuous_var("x")
+        with pytest.raises(ModelError):
+            m2.add_linear_constraint([(x, 1.0)], "<=", 1)
+
+    def test_mapping_accepted(self):
+        m = Model()
+        x = m.add_continuous_var("x")
+        c = m.add_linear_constraint({x: 2.0}, ">=", 4)
+        assert c.expr.terms == {x: 2.0}
+        assert c.expr.constant == -4.0
+
+    def test_mixed_adds_keep_arrays_consistent(self):
+        m = Model()
+        x = m.add_continuous_var("x", 0, 10)
+        m.add_constr(x <= 7)
+        m.add_linear_constraint([(x, 1.0)], ">=", 2)
+        arrays = m.constraint_arrays()
+        assert arrays is not None
+        _, _, _, senses, rhs = arrays
+        assert list(senses) == [0, 1]
+        assert list(rhs) == [7.0, 2.0]
 
 
 class TestDisjunction:

@@ -245,7 +245,7 @@ class TestGlobalRegistry:
 # ---------------------------------------------------------------------------
 
 
-def _bench_payload(wall=1.0, ilp=0.5, pathgen=0.2, rung=0.4, **over):
+def _bench_payload(wall=1.0, ilp=0.5, pathgen=0.2, rung=0.4, build=0.1, **over):
     payload = {
         "schema": perf.BENCH_SCHEMA,
         "git_sha": "deadbee",
@@ -262,6 +262,9 @@ def _bench_payload(wall=1.0, ilp=0.5, pathgen=0.2, rung=0.4, **over):
                     "pdw.ilp": {"median": ilp, "p95": ilp, "samples": [ilp]},
                     "pdw.pathgen": {
                         "median": pathgen, "p95": pathgen, "samples": [pathgen]
+                    },
+                    "pdw.ilp.build": {
+                        "median": build, "p95": build, "samples": [build]
                     },
                 },
                 "rungs": {"highs": {"median": rung, "p95": rung, "samples": [rung]}},

@@ -1,0 +1,215 @@
+"""Kernel-vs-networkx equivalence tests for the CSR routing kernel.
+
+The :class:`~repro.arch.pathkernel.PathKernel` replaced networkx on the
+routing hot path; these tests pin its contract to the reference
+implementation on random grids and on every benchmark chip's generated
+layout: same shortest-path cost, valid simple paths, identical k-path
+cost ordering, and cache-served results identical to cold queries.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.arch.builder import ChipBuilder
+from repro.arch.pathkernel import PathKernel, kernel_for
+from repro.arch.routing import is_simple
+from repro.bench import BENCHMARKS
+from repro.errors import RoutingError
+from repro.synth.binding import build_device_list
+from repro.synth.layout import generate_layout
+
+WEIGHT = "length_mm"
+
+
+def nx_cost(graph, src, dst, banned=frozenset()):
+    """Reference shortest-path cost, or ``None`` when unreachable."""
+    if banned:
+        keep = (set(graph) - set(banned)) | {src, dst}
+        graph = graph.subgraph(keep)
+    try:
+        cost, _ = nx.bidirectional_dijkstra(graph, src, dst, weight=WEIGHT)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+    return cost
+
+
+def assert_valid_path(chip, path, src, dst, length):
+    """The kernel's path is a real, simple walk of the claimed length."""
+    assert path[0] == src and path[-1] == dst
+    assert is_simple(path)
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        assert chip.graph.has_edge(a, b)
+        total += chip.graph.edges[a, b][WEIGHT]
+    assert length == pytest.approx(total)
+
+
+def random_grid_chip(seed, width=6, height=5):
+    """A connected grid of junctions with random channel lengths."""
+    rng = random.Random(seed)
+    b = ChipBuilder(f"grid-{seed}")
+    for x in range(width):
+        for y in range(height):
+            b.add_junction(f"n{x}_{y}", pos=(float(x), float(y)))
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                b.add_channel(
+                    f"n{x}_{y}", f"n{x + 1}_{y}", round(rng.uniform(0.5, 4.0), 3)
+                )
+            if y + 1 < height:
+                b.add_channel(
+                    f"n{x}_{y}", f"n{x}_{y + 1}", round(rng.uniform(0.5, 4.0), 3)
+                )
+    b.add_flow_port("in1", pos=(-1.0, 0.0))
+    b.add_channel("in1", "n0_0", 1.0)
+    b.add_waste_port("out1", pos=(float(width), float(height - 1)))
+    b.add_channel(f"n{width - 1}_{height - 1}", "out1", 1.0)
+    return b.build()
+
+
+def query_pairs(chip, rng, count=12):
+    """Port pairs plus random interior pairs of one chip."""
+    nodes = list(chip.graph.nodes)
+    pairs = [(fp, wp) for fp in chip.flow_ports for wp in chip.waste_ports]
+    for _ in range(count):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        if a != b:
+            pairs.append((a, b))
+    return pairs
+
+
+@pytest.fixture(scope="module", params=sorted(BENCHMARKS))
+def bench_chip(request):
+    spec = BENCHMARKS[request.param]
+    devices = build_device_list(spec.inventory)
+    return generate_layout(devices, name=f"{spec.name}-chip")
+
+
+class TestBenchmarkChipEquivalence:
+    def test_shortest_costs_match_networkx(self, bench_chip):
+        kernel = PathKernel(bench_chip)
+        rng = random.Random(7)
+        for src, dst in query_pairs(bench_chip, rng):
+            expected = nx_cost(bench_chip.graph, src, dst)
+            if expected is None:
+                with pytest.raises(RoutingError):
+                    kernel.shortest(src, dst)
+                continue
+            path, length = kernel.shortest(src, dst)
+            assert length == pytest.approx(expected)
+            assert_valid_path(bench_chip, path, src, dst, length)
+
+    def test_avoid_sets_match_networkx_subgraph(self, bench_chip):
+        kernel = PathKernel(bench_chip)
+        rng = random.Random(11)
+        interior = [n for n in bench_chip.graph.nodes if not bench_chip.is_port(n)]
+        for src, dst in query_pairs(bench_chip, rng, count=6):
+            banned = frozenset(
+                n for n in rng.sample(interior, min(3, len(interior)))
+                if n not in (src, dst)
+            )
+            expected = nx_cost(bench_chip.graph, src, dst, banned)
+            if expected is None:
+                with pytest.raises(RoutingError):
+                    kernel.shortest(src, dst, banned)
+                continue
+            path, length = kernel.shortest(src, dst, banned)
+            assert length == pytest.approx(expected)
+            assert not banned & set(path[1:-1])
+            assert_valid_path(bench_chip, path, src, dst, length)
+
+    def test_k_path_cost_ordering_matches_networkx(self, bench_chip):
+        kernel = PathKernel(bench_chip)
+        k = 4
+        for src in bench_chip.flow_ports[:2]:
+            for dst in bench_chip.waste_ports[:2]:
+                found = kernel.k_shortest(src, dst, k)
+                costs = [length for _, length in found]
+                assert costs == sorted(costs)
+                gen = nx.shortest_simple_paths(
+                    bench_chip.graph, src, dst, weight=WEIGHT
+                )
+                expected = []
+                for path in gen:
+                    expected.append(
+                        sum(
+                            bench_chip.graph.edges[a, b][WEIGHT]
+                            for a, b in zip(path, path[1:])
+                        )
+                    )
+                    if len(expected) == len(found):
+                        break
+                assert costs == pytest.approx(expected)
+                for path, length in found:
+                    assert_valid_path(bench_chip, path, src, dst, length)
+
+
+class TestRandomGridEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_shortest_costs_match_networkx(self, seed):
+        chip = random_grid_chip(seed)
+        kernel = PathKernel(chip)
+        rng = random.Random(seed * 101)
+        for src, dst in query_pairs(chip, rng, count=20):
+            expected = nx_cost(chip.graph, src, dst)
+            path, length = kernel.shortest(src, dst)
+            assert length == pytest.approx(expected)
+            assert_valid_path(chip, path, src, dst, length)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_k_path_cost_ordering_matches_networkx(self, seed):
+        chip = random_grid_chip(seed)
+        kernel = PathKernel(chip)
+        gen = nx.shortest_simple_paths(chip.graph, "in1", "out1", weight=WEIGHT)
+        expected = []
+        for path in gen:
+            expected.append(
+                sum(chip.graph.edges[a, b][WEIGHT] for a, b in zip(path, path[1:]))
+            )
+            if len(expected) == 5:
+                break
+        costs = [length for _, length in kernel.k_shortest("in1", "out1", 5)]
+        assert costs == pytest.approx(expected)
+
+
+class TestCache:
+    def test_cache_hit_identical_to_cold(self):
+        chip = random_grid_chip(9)
+        kernel = PathKernel(chip)
+        cold = kernel.shortest("in1", "out1")
+        hits0, misses0, _ = kernel.cache_info()
+        warm = kernel.shortest("in1", "out1")
+        hits1, misses1, _ = kernel.cache_info()
+        assert warm == cold
+        assert (hits1, misses1) == (hits0 + 1, misses0)
+
+    def test_negative_result_cached(self):
+        chip = random_grid_chip(10)
+        kernel = PathKernel(chip)
+        # in1 attaches to the grid only through n0_0; banning it cuts in1 off.
+        banned = frozenset({"n0_0"})
+        with pytest.raises(RoutingError):
+            kernel.shortest("in1", "out1", banned)
+        _, misses0, _ = kernel.cache_info()
+        with pytest.raises(RoutingError):
+            kernel.shortest("in1", "out1", banned)
+        _, misses1, _ = kernel.cache_info()
+        assert misses1 == misses0  # second failure served from the cache
+
+    def test_eviction_bounds_cache(self):
+        chip = random_grid_chip(12)
+        kernel = PathKernel(chip, cache_size=4)
+        nodes = list(chip.graph.nodes)[:6]
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    kernel.shortest(a, b)
+        _, _, size = kernel.cache_info()
+        assert size <= 4
+
+    def test_kernel_for_is_cached_per_chip(self):
+        chip = random_grid_chip(13)
+        assert kernel_for(chip) is kernel_for(chip)

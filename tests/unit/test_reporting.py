@@ -43,3 +43,39 @@ class TestPct:
     def test_two_decimals(self):
         assert pct(33.1) == "33.10"
         assert pct(0) == "0.00"
+
+
+class TestRoutingCacheLine:
+    def _run(self, hits, misses, workers):
+        from types import SimpleNamespace
+
+        from repro.pipeline import RunReport
+
+        rep = RunReport(label="x")
+        rep.record(
+            "pdw.pathgen",
+            wall_s=0.1,
+            counters={
+                "routing_cache_hits": float(hits),
+                "routing_cache_misses": float(misses),
+                "workers": float(workers),
+            },
+        )
+        return SimpleNamespace(report=rep)
+
+    def test_aggregates_across_runs(self):
+        from repro.experiments.timings import routing_cache_line
+
+        line = routing_cache_line([self._run(90, 10, 1), self._run(10, 90, 4)])
+        assert "100 hits / 100 misses" in line
+        assert "50.0% hit rate" in line
+        assert "workers: 4" in line
+
+    def test_silent_without_counters(self):
+        from types import SimpleNamespace
+
+        from repro.experiments.timings import routing_cache_line
+        from repro.pipeline import RunReport
+
+        empty = SimpleNamespace(report=RunReport(label="y"))
+        assert routing_cache_line([empty]) == ""
