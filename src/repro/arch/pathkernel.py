@@ -63,7 +63,11 @@ class PathKernel:
 
     def __init__(self, chip: Chip, cache_size: int = DEFAULT_CACHE_SIZE):
         with span("routing.kernel.build", chip=chip.name):
-            self.chip = chip
+            # Weak, not strong: kernels live in a WeakKeyDictionary keyed
+            # by chip, and a value holding its own key alive would make
+            # every entry immortal — one leaked kernel (plus its LRU) per
+            # chip instance, forever.
+            self._chip_ref = weakref.ref(chip)
             graph = chip.graph
             default_mm = chip.parameters.cell_pitch_mm
             #: Node order: graph insertion order, matching networkx
@@ -89,6 +93,11 @@ class PathKernel:
             self._lock = threading.Lock()
             self.cache_hits = 0
             self.cache_misses = 0
+
+    @property
+    def chip(self) -> Optional[Chip]:
+        """The chip this kernel snapshots, or ``None`` once it is dropped."""
+        return self._chip_ref()
 
     # -- cache --------------------------------------------------------------
 

@@ -212,6 +212,8 @@ class DawoClusterStage(StageBase):
 
     name = "clusters"
     version = "1"
+    requires = ("necessity",)
+    provides = "clusters"
 
     def key(self, ctx: PDWContext):
         return (ctx.synthesis_digest, "dawo", ctx.config.necessity.value)
@@ -239,6 +241,8 @@ class SweepLineStage(StageBase):
 
     name = "sweepline"
     version = "1"
+    requires = ("clusters",)
+    provides = "plan"
 
     def key(self, ctx: PDWContext):
         return (ctx.synthesis_digest, "dawo", ctx.config.necessity.value)
@@ -257,8 +261,19 @@ class SweepLineStage(StageBase):
 DAWO_CLUSTER_STAGE = DawoClusterStage()
 SWEEPLINE_STAGE = SweepLineStage()
 
+#: The DAWO method as an ordered stage chain (replay/necessity are shared
+#: with PDW); consumed by the suite DAG alongside
+#: :data:`repro.core.stages.PDW_PIPELINE`.
+DAWO_PIPELINE = (
+    REPLAY_STAGE,
+    NECESSITY_STAGE,
+    DAWO_CLUSTER_STAGE,
+    SWEEPLINE_STAGE,
+)
+
 #: Config carrier for the DAWO pipeline: only the necessity policy matters.
-_DAWO_CONFIG = PDWConfig(necessity=NecessityPolicy.REUSE_CONFLICT)
+DAWO_CONFIG = PDWConfig(necessity=NecessityPolicy.REUSE_CONFLICT)
+_DAWO_CONFIG = DAWO_CONFIG
 
 
 class DelayAwareWashOptimizer:

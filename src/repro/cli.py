@@ -8,9 +8,9 @@ Subcommands::
     pdw report {table2,fig4,fig5,ablation,necessity,pareto,timings,
                 failures,trace,all} [benchmark]
     pdw suite [benchmark ...] [--timeout S] [--retries N] [--resume]
-              [--max-rss MB]                 # supervised, fault-tolerant runs
+              [--max-rss MB] [--sched-workers N]  # supervised / DAG runs
     pdw bench [benchmark ...] [--iterations N] [--quick] [--out FILE]
-              [--compare BASELINE.json] [--threshold PCT]
+              [--compare BASELINE.json] [--threshold PCT] [--sched-workers N]
     pdw assay <file.json> [--method ...]     # optimize a user assay
     pdw cost <benchmark>                     # chip cost + plan comparison
     pdw simulate <benchmark> [--method ...]  # discrete-event execution log
@@ -167,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="best-effort per-run address-space cap in MiB",
     )
     p_suite.add_argument("--workers", type=int, default=None)
+    p_suite.add_argument(
+        "--sched-workers", type=int, default=None, metavar="N",
+        help="run the suite as a stage DAG on N scheduler workers "
+        "(node-granular retries/resume; plans stay byte-identical to serial)",
+    )
     p_suite.add_argument("--no-cache", action="store_true")
 
     p_bench = sub.add_parser(
@@ -196,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--threshold", type=float, default=25.0, metavar="PCT",
         help="allowed hot-path median growth in percent (default 25)",
+    )
+    p_bench.add_argument(
+        "--sched-workers", type=int, default=None, metavar="N",
+        help="also time one cold whole-suite pass through the DAG executor "
+        "at N workers and record it as the artifact's 'suite' section",
     )
 
     p_cache = sub.add_parser("cache", help="inspect, verify, or clear the artifact cache")
@@ -328,13 +338,26 @@ def _run_suite_cmd(args: argparse.Namespace) -> int:
         retries=max(0, args.retries),
     )
     cache = None if args.no_cache else default_cache()
-    supervisor = SuiteSupervisor(
-        budget=budget,
-        cache=cache,
-        use_cache=not args.no_cache,
-        workers=args.workers,
-        resume=args.resume,
-    )
+    if args.sched_workers is not None:
+        from repro.sched.executor import DagExecutor
+
+        # The DAG executor duck-types SuiteSupervisor.run, so the rest of
+        # this command (result rendering, exit codes) is shared verbatim.
+        supervisor = DagExecutor(
+            budget=budget,
+            cache=cache,
+            use_cache=not args.no_cache,
+            workers=args.sched_workers,
+            resume=args.resume,
+        )
+    else:
+        supervisor = SuiteSupervisor(
+            budget=budget,
+            cache=cache,
+            use_cache=not args.no_cache,
+            workers=args.workers,
+            resume=args.resume,
+        )
     result = run_suite(
         args.benchmarks or None, config, cache=cache, supervisor=supervisor
     )
@@ -384,6 +407,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         quick=args.quick,
         progress=lambda line: print(f"  {line}"),
+        sched_workers=args.sched_workers,
     )
     out = args.out if args.out is not None else result.default_path(Path.cwd())
     out.write_text(result.to_json() + "\n", encoding="utf-8")

@@ -13,15 +13,12 @@ The scheduling ILP then selects one candidate per wash operation; with
 
 from __future__ import annotations
 
-import logging
-import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.chip import Chip, FlowPath
 from repro.arch.routing import RoutedPath, Router, is_simple
+from repro.envutil import env_int
 from repro.errors import RoutingError, WashError
-
-logger = logging.getLogger(__name__)
 
 #: Environment override for the pathgen worker count (see
 #: :func:`resolve_pathgen_workers`).
@@ -34,22 +31,12 @@ def resolve_pathgen_workers(config) -> int:
     Precedence: a positive ``config.pathgen_workers`` wins, then a positive
     :data:`WORKERS_ENV` environment value, then serial (1).  A malformed
     environment value is warned about and ignored rather than failing the
-    run.
+    run (see :func:`repro.envutil.env_int`).
     """
     configured = int(getattr(config, "pathgen_workers", 0) or 0)
     if configured > 0:
         return configured
-    raw = os.environ.get(WORKERS_ENV, "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            logger.warning("ignoring malformed %s=%r", WORKERS_ENV, raw)
-        else:
-            if value > 0:
-                return value
-            logger.warning("ignoring non-positive %s=%r", WORKERS_ENV, raw)
-    return 1
+    return env_int(WORKERS_ENV, default=1, minimum=1)
 
 
 def _bump(stats: Optional[Dict[str, int]], key: str) -> None:

@@ -97,61 +97,14 @@ class PathDriverWash:
         ctx.necessity = run.run_stage(NECESSITY_STAGE, ctx)
 
         if not ctx.necessity.required:
-            plan = WashPlan(
-                method="PDW",
-                chip=self.synthesis.chip,
-                schedule=self.synthesis.schedule.copy(),
-                washes=[],
-                baseline_schedule=self.synthesis.schedule,
-                solver_status="no-wash-needed",
-                notes={"necessity_events": float(ctx.necessity.total_events)},
-            )
-            return self._finish(plan, run, verify=False)
+            return self._finish(no_wash_plan(ctx), run, verify=False)
 
         ctx.clusters = run.run_stage(CLUSTER_STAGE, ctx)
         ctx.candidates = run.run_stage(PATHGEN_STAGE, ctx).candidates
         ctx.outcome = run.run_stage(SCHEDULE_ILP_STAGE, ctx)
-        self._record_build(run, ctx.outcome)
-        self._record_rungs(run, ctx.outcome)
+        record_ilp_rows(run, ctx.outcome)
         plan = run.run_stage(ASSEMBLE_STAGE, ctx)
         return self._finish(plan, run, verify=verify)
-
-    @staticmethod
-    def _record_build(run: PipelineRun, outcome) -> None:
-        """Report the ILP model-construction time as its own series.
-
-        Recorded as ``ilp.build`` (surfacing as ``pdw.ilp.build`` in merged
-        reports and ``pdw bench``).  When the ILP stage artifact came from
-        the cache the stored build time belongs to an earlier process, so
-        no row is recorded — the value still surfaces through the stage's
-        ``build_time_s`` counter.
-        """
-        if not outcome.build_time_s:
-            return
-        last = run.report.stages[-1] if run.report.stages else None
-        if last is not None and last.stage == "ilp" and last.cached:
-            return
-        run.report.record(
-            "ilp.build",
-            wall_s=outcome.build_time_s,
-            detail=outcome.model_stats,
-        )
-
-    @staticmethod
-    def _record_rungs(run: PipelineRun, outcome) -> None:
-        """One report record per solver-ladder rung attempt."""
-        for att in outcome.attempts:
-            counters = {}
-            if att.mip_gap is not None:
-                counters["mip_gap"] = float(att.mip_gap)
-            if att.objective is not None:
-                counters["objective"] = float(att.objective)
-            run.report.record(
-                f"ilp.rung.{att.rung}",
-                wall_s=att.wall_s,
-                counters=counters,
-                detail=f"{att.status}: {att.message}" if att.message else att.status,
-            )
 
     def _finish(self, plan: WashPlan, run: PipelineRun, verify: bool) -> WashPlan:
         plan.report = run.report
@@ -160,6 +113,54 @@ class PathDriverWash:
             verify_plan(plan)
             validate_plan(plan, self.synthesis)
         return plan
+
+
+def record_ilp_rows(run: PipelineRun, outcome) -> None:
+    """Report the ILP stage's auxiliary time series after it ran.
+
+    ``ilp.build`` is the model-construction time (surfacing as
+    ``pdw.ilp.build`` in merged reports and ``pdw bench``); when the ILP
+    stage artifact came from the cache the stored build time belongs to an
+    earlier process, so no row is recorded — the value still surfaces
+    through the stage's ``build_time_s`` counter.  Each solver-ladder rung
+    attempt then gets its own ``ilp.rung.<rung>`` record.  Shared by the
+    serial orchestrator above and the suite DAG executor's ILP node.
+    """
+    if outcome.build_time_s:
+        last = run.report.stages[-1] if run.report.stages else None
+        if not (last is not None and last.stage == "ilp" and last.cached):
+            run.report.record(
+                "ilp.build",
+                wall_s=outcome.build_time_s,
+                detail=outcome.model_stats,
+            )
+    for att in outcome.attempts:
+        counters = {}
+        if att.mip_gap is not None:
+            counters["mip_gap"] = float(att.mip_gap)
+        if att.objective is not None:
+            counters["objective"] = float(att.objective)
+        run.report.record(
+            f"ilp.rung.{att.rung}",
+            wall_s=att.wall_s,
+            counters=counters,
+            detail=f"{att.status}: {att.message}" if att.message else att.status,
+        )
+
+
+def no_wash_plan(ctx: PDWContext) -> WashPlan:
+    """The empty PDW plan for a run whose necessity analysis demands no
+    washes — the baseline schedule passes through untouched.  Shared by
+    the serial orchestrator above and the suite DAG executor."""
+    return WashPlan(
+        method="PDW",
+        chip=ctx.synthesis.chip,
+        schedule=ctx.synthesis.schedule.copy(),
+        washes=[],
+        baseline_schedule=ctx.synthesis.schedule,
+        solver_status="no-wash-needed",
+        notes={"necessity_events": float(ctx.necessity.total_events)},
+    )
 
 
 def verify_plan(plan: WashPlan) -> None:

@@ -62,6 +62,7 @@ class PDWContext:
     clusters: List[WashCluster] = field(default_factory=list)
     candidates: Dict[str, List] = field(default_factory=dict)
     outcome: Optional[IlpWashOutcome] = None
+    plan: Optional[WashPlan] = None
     _synthesis_digest: Optional[str] = None
 
     @property
@@ -81,6 +82,9 @@ class ReplayStage(StageBase):
 
     name = "replay"
     version = "1"
+    requires = ("synthesis",)
+    provides = "tracker"
+    shared = True
 
     def key(self, ctx: PDWContext):
         # Keyed on the synthesis alone so PDW and DAWO share the artifact.
@@ -101,6 +105,8 @@ class NecessityStage(StageBase):
 
     name = "necessity"
     version = "1"
+    requires = ("tracker",)
+    provides = "necessity"
 
     def key(self, ctx: PDWContext):
         return (ctx.synthesis_digest, ctx.config.necessity.value)
@@ -126,6 +132,8 @@ class ClusterStage(StageBase):
 
     name = "clusters"
     version = "1"
+    requires = ("necessity",)
+    provides = "clusters"
 
     def key(self, ctx: PDWContext):
         cfg = ctx.config
@@ -184,6 +192,8 @@ class PathGenStage(StageBase):
 
     name = "pathgen"
     version = "3"
+    requires = ("clusters",)
+    provides = "candidates"
 
     def key(self, ctx: PDWContext):
         cfg = ctx.config
@@ -281,6 +291,9 @@ class PathGenStage(StageBase):
         stats.update({k: float(v) for k, v in sorted(result.skips.items())})
         return stats
 
+    def apply(self, ctx: PDWContext, result: PathgenResult) -> None:
+        ctx.candidates = result.candidates
+
 
 class ScheduleIlpStage(StageBase):
     """Build and solve the scheduling ILP (Eqs. 1-8, 16-26).
@@ -294,6 +307,8 @@ class ScheduleIlpStage(StageBase):
 
     name = "ilp"
     version = "3"
+    requires = ("clusters", "candidates")
+    provides = "outcome"
 
     def key(self, ctx: PDWContext):
         # The outcome depends on every config field (weights, limits, ...)
@@ -342,6 +357,8 @@ class AssembleStage(StageBase):
 
     name = "assemble"
     version = "1"
+    requires = ("outcome", "clusters", "necessity")
+    provides = "plan"
 
     def compute(self, ctx: PDWContext) -> WashPlan:
         outcome = ctx.outcome
@@ -414,3 +431,16 @@ CLUSTER_STAGE = ClusterStage()
 PATHGEN_STAGE = PathGenStage()
 SCHEDULE_ILP_STAGE = ScheduleIlpStage()
 ASSEMBLE_STAGE = AssembleStage()
+
+#: The PDW method as an ordered stage chain.  The order is a valid
+#: topological sort of the stages' ``requires``/``provides`` declarations;
+#: the suite DAG (:mod:`repro.sched`) derives its edges from those
+#: declarations rather than from this tuple's adjacency.
+PDW_PIPELINE = (
+    REPLAY_STAGE,
+    NECESSITY_STAGE,
+    CLUSTER_STAGE,
+    PATHGEN_STAGE,
+    SCHEDULE_ILP_STAGE,
+    ASSEMBLE_STAGE,
+)

@@ -1,0 +1,66 @@
+"""Warn-not-crash parsing of numeric ``REPRO_*`` environment knobs.
+
+Several subsystems take integer tuning knobs from the environment —
+``REPRO_SUITE_WORKERS`` (suite fan-out), ``REPRO_PATHGEN_WORKERS``
+(per-cluster candidate generation), ``REPRO_SCHED_WORKERS`` (the stage-DAG
+scheduler) and ``REPRO_CACHE_MAX_BYTES`` (artifact-cache size bound).
+They share one failure policy: a malformed value must never crash whatever
+pipeline happened to read it first.  :func:`env_int` is the single
+implementation of that policy; a bad value raises a :class:`RuntimeWarning`
+naming the variable and falls back to ``default``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+#: Binary multipliers accepted when ``suffixes=True`` (cache sizes).
+_SUFFIXES = (("K", 2**10), ("M", 2**20), ("G", 2**30))
+
+
+def env_int(
+    name: str,
+    default: Optional[int] = None,
+    minimum: Optional[int] = None,
+    suffixes: bool = False,
+) -> Optional[int]:
+    """Parse ``$name`` as an integer, warning instead of crashing on junk.
+
+    Returns ``default`` when the variable is unset, empty, malformed, or
+    below ``minimum``.  ``suffixes=True`` additionally accepts a trailing
+    (case-insensitive) ``K``/``M``/``G`` binary multiplier, the
+    ``REPRO_CACHE_MAX_BYTES`` convention.  Every rejection path warns with
+    a :class:`RuntimeWarning` whose message contains ``name``, so callers
+    (and their tests) can match on the variable.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    scale = 1
+    text = raw
+    if suffixes:
+        upper = text.upper()
+        for suffix, factor in _SUFFIXES:
+            if upper.endswith(suffix):
+                scale, text = factor, text[:-1]
+                break
+    try:
+        value = int(text) * scale
+    except ValueError:
+        hint = "an integer byte count with an optional K/M/G suffix" if suffixes else "an integer"
+        warnings.warn(
+            f"ignoring malformed {name}={raw!r} (expected {hint})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if minimum is not None and value < minimum:
+        warnings.warn(
+            f"ignoring out-of-range {name}={raw!r} (must be >= {minimum})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return value

@@ -33,7 +33,6 @@ from __future__ import annotations
 import os
 import threading
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Union
@@ -44,6 +43,7 @@ from repro.bench import BENCHMARKS, benchmark, load_benchmark
 from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
 from repro.core.stages import REPLAY_STAGE, PDWContext
+from repro.envutil import env_int
 from repro.errors import ReproError
 from repro.ilp import faults
 from repro.obs import metrics as obs_metrics
@@ -179,6 +179,17 @@ def _memo_key(name: str, config: PDWConfig) -> tuple:
     return (name, config, faults.environment_token())
 
 
+def memo_lookup(name: str, config: Optional[PDWConfig] = None) -> Optional[BenchmarkRun]:
+    """The in-process memoized run for ``(name, config)``, if any.
+
+    Shared with the DAG executor's synthesis node so a suite re-run in
+    the same process short-circuits the whole benchmark subgraph.
+    """
+    cfg = config or default_config()
+    with _CACHE_LOCK:
+        return _CACHE.get(_memo_key(name, cfg))
+
+
 def adopt_run(run: BenchmarkRun, config: Optional[PDWConfig] = None) -> BenchmarkRun:
     """Adopt a run computed elsewhere (worker process, journal resume)
     into this process's memo, preserving object identity for later
@@ -300,17 +311,9 @@ def _run_benchmark_scoped(
 def _worker_count(names: Sequence[str], workers: Optional[int]) -> int:
     if workers is not None:
         return max(1, workers)
-    env = os.environ.get("REPRO_SUITE_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            warnings.warn(
-                f"ignoring malformed REPRO_SUITE_WORKERS={env!r} "
-                "(expected an integer); using the default worker count",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+    env = env_int("REPRO_SUITE_WORKERS", minimum=1)
+    if env is not None:
+        return env
     return max(1, min(len(names), os.cpu_count() or 1))
 
 
@@ -343,6 +346,7 @@ def run_suite(
     executor: str = "thread",
     cache: Optional[ArtifactCache] = None,
     supervisor: Optional["object"] = None,
+    sched_workers: Optional[int] = None,
 ) -> SuiteResult:
     """Run a list of benchmarks (default: the full Table II suite).
 
@@ -360,10 +364,21 @@ def run_suite(
     executor fan-out entirely: each benchmark then runs in an isolated
     subprocess under a wall-clock/memory budget with retries and a
     resumable journal.
+
+    ``sched_workers`` instead hands the suite to the stage-DAG executor
+    (:class:`~repro.sched.executor.DagExecutor`): the benchmarks are
+    compiled to one DAG of stage nodes scheduled across that many worker
+    threads, overlapping independent stages of different benchmarks while
+    keeping every plan byte-identical to serial execution.
     """
     suite = list(names or BENCHMARKS)
     if supervisor is not None:
         return supervisor.run(suite, config)
+    if sched_workers is not None:
+        from repro.sched.executor import DagExecutor
+
+        dag = DagExecutor(workers=sched_workers, cache=cache, use_cache=use_cache)
+        return dag.run(suite, config)
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r}")
     n_workers = _worker_count(suite, workers)

@@ -65,6 +65,7 @@ from repro.pipeline import (
     default_cache_dir,
     digest_config,
 )
+from repro.sched import journal as sched_journal
 
 #: Failure kinds worth retrying: a flaky worker death or a stall can be
 #: transient, while ``error`` (a deterministic ReproError) and ``oom``
@@ -212,10 +213,7 @@ class SuiteSupervisor:
 
     def _journal(self, record: dict) -> None:
         """Append one JSONL record (append-only; one write per event)."""
-        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"ts": time.time(), **record}
-        with self.journal_path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        sched_journal.append_record(self.journal_path, record)
 
     def _absorb_metrics(self, name: str, attempt: int, snapshot) -> None:
         """Merge one worker's metrics snapshot and journal it.
@@ -256,17 +254,9 @@ class SuiteSupervisor:
         successes, dropping names whose most recent terminal event is a
         failure.  Malformed lines (e.g. a write cut short by the very
         interruption resume exists for) are skipped."""
-        done: Dict[str, str] = {}
-        for record in _read_journal(self.journal_path):
-            event = record.get("event")
-            name = record.get("benchmark")
-            if not name:
-                continue
-            if event == "success":
-                done[name] = record.get("digest", "")
-            elif event == "failure":
-                done.pop(name, None)
-        return done
+        return sched_journal.journaled_successes(
+            sched_journal.read_records(self.journal_path)
+        )
 
     # -- execution ---------------------------------------------------------------
 
@@ -517,22 +507,7 @@ def _reap(proc) -> None:
 
 def _read_journal(path: Path) -> List[dict]:
     """Parsed journal records, skipping malformed (truncated) lines."""
-    records: List[dict] = []
-    try:
-        text = Path(path).read_text(encoding="utf-8")
-    except OSError:
-        return records
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            continue
-        if isinstance(record, dict):
-            records.append(record)
-    return records
+    return sched_journal.read_records(path)
 
 
 def merged_metrics(journal_path: Optional[Path] = None) -> obs_metrics.MetricsRegistry:

@@ -63,6 +63,35 @@ def computed_mean_row(runs: Sequence[BenchmarkRun]) -> List[str]:
     return cells
 
 
+def queue_wait_rows(runs: Sequence[BenchmarkRun]) -> List[List[str]]:
+    """One row per benchmark: per-stage scheduler queue wait.
+
+    The DAG executor (:mod:`repro.sched`) stamps every stage record with
+    ``queue_wait_s`` — the time between the node becoming ready (all
+    dependencies done) and a worker starting it.  Cells show ``-`` for
+    stages without the counter (serial/supervised runs, skipped nodes);
+    cache-served stages keep their usual origin semantics and simply show
+    the wait their *lookup* node spent queued.
+    """
+    rows: List[List[str]] = []
+    for run in runs:
+        cells = [run.name]
+        for stage, _ in STAGE_COLUMNS:
+            rec = run.report.get(stage) if run.report else None
+            wait = rec.counters.get("queue_wait_s") if rec is not None else None
+            cells.append(f"{wait:.3f}" if wait is not None else "-")
+        rows.append(cells)
+    return rows
+
+
+def _has_queue_waits(runs: Sequence[BenchmarkRun]) -> bool:
+    return any(
+        run.report is not None
+        and any("queue_wait_s" in rec.counters for rec in run.report.stages)
+        for run in runs
+    )
+
+
 def routing_cache_line(runs: Sequence[BenchmarkRun]) -> str:
     """Aggregate routing-kernel cache traffic across the suite.
 
@@ -126,13 +155,17 @@ def solver_rows(runs: Sequence[BenchmarkRun]) -> List[List[str]]:
 def timings_report(
     names: Optional[Sequence[str]] = None,
     config: Optional[PDWConfig] = None,
+    sched_workers: Optional[int] = None,
 ) -> str:
     """Render per-stage timings + solver statistics for the suite.
 
-    Failed benchmarks are listed below the tables instead of aborting
-    the report.
+    ``sched_workers`` runs the suite through the stage-DAG executor,
+    adding a per-stage queue-wait table (ready → start latency per node);
+    the table also appears when a previous DAG run's reports are served
+    from the cache.  Failed benchmarks are listed below the tables
+    instead of aborting the report.
     """
-    result = run_suite(names, config)
+    result = run_suite(names, config, sched_workers=sched_workers)
     runs = result.runs
 
     stage_headers = ["Benchmark", "wall(s)", "cached"]
@@ -145,6 +178,12 @@ def timings_report(
     cache_line = routing_cache_line(runs)
     if cache_line:
         text += "\n" + cache_line
+
+    if _has_queue_waits(runs):
+        wait_headers = ["Benchmark"]
+        wait_headers.extend(label for _, label in STAGE_COLUMNS)
+        text += "\nScheduler queue waits (s; node ready -> node start)\n"
+        text += render_table(wait_headers, queue_wait_rows(runs))
 
     solver_headers = [
         "Benchmark", "status", "rung", "tried", "vars", "bin", "constrs",

@@ -12,8 +12,20 @@ the chip.  This package serves all three:
 * :func:`~repro.viz.svg.render_svg` (re-exported) — layout drawings.
 """
 
-from repro.export.plan_json import plan_to_dict, plan_to_json
+from repro.export.plan_json import (
+    canonical_plan_dict,
+    canonical_plan_json,
+    plan_to_dict,
+    plan_to_json,
+)
 from repro.export.actuation import actuation_program
 from repro.viz.svg import render_svg
 
-__all__ = ["actuation_program", "plan_to_dict", "plan_to_json", "render_svg"]
+__all__ = [
+    "actuation_program",
+    "canonical_plan_dict",
+    "canonical_plan_json",
+    "plan_to_dict",
+    "plan_to_json",
+    "render_svg",
+]

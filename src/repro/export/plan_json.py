@@ -51,3 +51,24 @@ def plan_to_dict(plan: WashPlan) -> Dict[str, Any]:
 def plan_to_json(plan: WashPlan, indent: int = 2) -> str:
     """Serialize a wash plan to a JSON string."""
     return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def canonical_plan_dict(plan: WashPlan) -> Dict[str, Any]:
+    """The timing-free view of a plan: byte-stable across identical runs.
+
+    Drops the volatile fields — ``solve_time_s`` and the ``pipeline``
+    report (wall times, cache origins, queue waits) — leaving exactly the
+    *decisions*: schedule, washes, metrics, solver status/rung.  Two runs
+    of the same inputs must produce identical canonical dicts regardless
+    of caching, worker count or executor, which is what the suite DAG's
+    determinism test and the CI ``dag-executor`` plan diff assert.
+    """
+    out = plan_to_dict(plan)
+    out.pop("pipeline", None)
+    out.pop("solve_time_s", None)
+    return out
+
+
+def canonical_plan_json(plan: WashPlan, indent: int = 2) -> str:
+    """Canonical (timing-free) plan serialization with sorted keys."""
+    return json.dumps(canonical_plan_dict(plan), indent=indent, sort_keys=True)

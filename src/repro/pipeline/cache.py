@@ -37,11 +37,11 @@ import os
 import pickle
 import tempfile
 import time
-import warnings
 from dataclasses import asdict, dataclass, field, is_dataclass
 from pathlib import Path
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.envutil import env_int
 from repro.pipeline import chaos
 
 #: Global salt for every digest; bump to invalidate all cached artifacts
@@ -152,33 +152,10 @@ def max_cache_bytes() -> Optional[int]:
     """The ``REPRO_CACHE_MAX_BYTES`` size bound, or ``None`` when unset.
 
     A malformed value is treated as unset with a warning rather than
-    crashing whatever pipeline happened to touch the cache first.
+    crashing whatever pipeline happened to touch the cache first (see
+    :func:`repro.envutil.env_int`).
     """
-    raw = os.environ.get(ENV_MAX_BYTES, "").strip()
-    if not raw:
-        return None
-    scale = 1
-    text = raw.upper()
-    for suffix, factor in (("K", 2**10), ("M", 2**20), ("G", 2**30)):
-        if text.endswith(suffix):
-            scale, text = factor, text[:-1]
-            break
-    try:
-        value = int(text)
-    except ValueError:
-        warnings.warn(
-            f"ignoring malformed {ENV_MAX_BYTES}={raw!r} (expected an integer "
-            "byte count with an optional K/M/G suffix)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return None
-    if value < 0:
-        warnings.warn(
-            f"ignoring negative {ENV_MAX_BYTES}={raw!r}", RuntimeWarning, stacklevel=2
-        )
-        return None
-    return value * scale
+    return env_int(ENV_MAX_BYTES, minimum=0, suffixes=True)
 
 
 # ---------------------------------------------------------------------------

@@ -26,7 +26,16 @@ from repro.pipeline.report import RunReport
 
 @runtime_checkable
 class Stage(Protocol):
-    """One pipeline step producing a cacheable artifact from a context."""
+    """One pipeline step producing a cacheable artifact from a context.
+
+    Beyond the required members below, stages may declare their *dataflow*
+    — ``requires`` (context attribute names read by :meth:`compute`) and
+    ``provides`` (the context attribute the artifact fills, bound by
+    ``apply``).  The declarations are what the suite stage DAG
+    (:mod:`repro.sched`) derives its edges from, so a stage that reads an
+    undeclared input simply never becomes schedulable before that input's
+    producer — edges are derived, not hardcoded.
+    """
 
     #: Stage name; also the instrumentation label.
     name: str
@@ -47,10 +56,23 @@ class Stage(Protocol):
 
 
 class StageBase:
-    """Convenience base: no cache key, no counters, no detail."""
+    """Convenience base: no cache key, no counters, no detail.
+
+    Subclasses declare their dataflow through ``requires``/``provides``;
+    the defaults (no inputs, anonymous output) keep ad-hoc stages working
+    while registered pipeline stages override both so the suite DAG can
+    derive dependency edges from the declarations.
+    """
 
     name = "stage"
     version = "1"
+    #: Context attribute names this stage reads (its dataflow inputs).
+    requires: tuple = ()
+    #: Context attribute its artifact fills (its dataflow output), or "".
+    provides: str = ""
+    #: Whether the artifact is method-independent (keyed on the synthesis
+    #: alone), so pipelines containing the same stage share one DAG node.
+    shared: bool = False
 
     def key(self, ctx: Any) -> Optional[Any]:
         return None
@@ -61,6 +83,17 @@ class StageBase:
     def detail(self, artifact: Any) -> str:
         """Free-form one-line description recorded with the stage."""
         return ""
+
+    def apply(self, ctx: Any, artifact: Any) -> None:
+        """Bind the produced artifact back onto the context.
+
+        The default stores the artifact under the declared ``provides``
+        attribute; stages whose context field is a *view* of the artifact
+        (e.g. pathgen's candidate pools inside a richer result object)
+        override this.
+        """
+        if self.provides:
+            setattr(ctx, self.provides, artifact)
 
 
 class PipelineRun:

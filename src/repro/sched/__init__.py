@@ -1,0 +1,30 @@
+"""Stage-DAG suite execution (the Polyphony-style worklist scheduler).
+
+Turns a suite run into an explicit DAG of ``(benchmark, method, stage)``
+nodes — edges derived from the stages' declared ``requires``/``provides``
+dataflow, the PDW↔DAWO shared replay artifact a single node — and
+executes it with a priority-ordered ready-worklist scheduler over a
+worker pool (:class:`DagExecutor`).  Entry points:
+
+* :func:`repro.experiments.runner.run_suite` with ``sched_workers=``,
+* ``pdw suite --sched-workers N`` / ``pdw bench --sched-workers N``,
+* :func:`build_graph` for the static DAG alone.
+
+The journal submodule (:mod:`repro.sched.journal`) carries the JSONL
+append/read/replay primitives shared with the subprocess-based
+:class:`~repro.experiments.supervisor.SuiteSupervisor`.
+"""
+
+from repro.sched.graph import StageNode, build_graph
+
+__all__ = ["DagExecutor", "StageNode", "build_graph"]
+
+
+def __getattr__(name):
+    # DagExecutor imports the runner/supervisor layers; loading it lazily
+    # keeps `import repro.sched.journal` (used by the supervisor) cycle-free.
+    if name == "DagExecutor":
+        from repro.sched.executor import DagExecutor
+
+        return DagExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,157 @@
+"""The static suite stage DAG: nodes, derived edges, critical-path priorities.
+
+One :class:`StageNode` per ``(benchmark, method, stage)``.  Edges are
+*derived* from the stages' declared ``requires``/``provides`` dataflow
+(:class:`repro.pipeline.stage.StageBase`), never hardcoded: within each
+method a provider map tracks which node fills each context attribute, so
+a stage's dependencies are exactly the producers of its declared inputs.
+A stage declared ``shared`` (the PDW↔DAWO contamination replay, keyed on
+the synthesis alone) becomes a single node both methods' chains hang off.
+
+Two synthetic nodes frame each benchmark: ``synthesis`` (the baseline
+schedule both methods consume) and ``collect`` (merges both plans into
+the :class:`~repro.experiments.runner.BenchmarkRun`).
+
+Priorities are critical-path lengths over a static per-stage cost table
+(Polyphony-style list scheduling): the scheduler pops the ready node with
+the longest downstream chain first, so a benchmark's ILP solve is issued
+before another benchmark's cheap necessity pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Method namespace of nodes shared between PDW and DAWO.
+SHARED = "shared"
+#: Method namespace of the per-benchmark collect node.
+RUN = "run"
+
+#: Static stage costs for critical-path priorities.  Units are arbitrary;
+#: only the ordering they induce matters.  Rough shape from the committed
+#: bench baselines: the ILP solve dominates, pathgen second, synthesis and
+#: the replay next, everything else is noise.
+STAGE_COSTS: Dict[str, float] = {
+    "synthesis": 3.0,
+    "replay": 2.0,
+    "pathgen": 5.0,
+    "ilp": 10.0,
+    "sweepline": 2.0,
+}
+DEFAULT_COST = 1.0
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One schedulable unit of suite work.
+
+    ``id`` is ``<benchmark>/<method>/<stage>`` where method is ``pdw``,
+    ``dawo``, ``shared`` (synthesis / replay) or ``run`` (collect).
+    ``deps`` are node ids; ``priority`` is the critical-path length from
+    this node to the end of its benchmark; ``order`` is a deterministic
+    creation index used as the final tie-break.
+    """
+
+    id: str
+    benchmark: str
+    method: str
+    stage: str
+    deps: Tuple[str, ...]
+    priority: float
+    #: Suite position of the benchmark (earlier benchmarks win ties).
+    bench_index: int
+    order: int
+    #: The :class:`~repro.pipeline.stage.Stage` to execute, or ``None``
+    #: for the synthetic synthesis/collect nodes.
+    stage_obj: Optional[Any] = None
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Ready-queue ordering: longest critical path first, then suite
+        position, then creation order — fully deterministic."""
+        return (-self.priority, self.bench_index, self.order)
+
+
+def _cost(stage: str) -> float:
+    return STAGE_COSTS.get(stage, DEFAULT_COST)
+
+
+def benchmark_nodes(
+    benchmark: str,
+    bench_index: int = 0,
+    order_base: int = 0,
+) -> List[StageNode]:
+    """The stage nodes of one benchmark, edges derived from declarations."""
+    from repro.baselines.dawo import DAWO_PIPELINE
+    from repro.core.stages import PDW_PIPELINE
+
+    draft: List[Tuple[str, str, str, Tuple[str, ...], Optional[Any]]] = []
+    synth_id = f"{benchmark}/{SHARED}/synthesis"
+    draft.append((synth_id, SHARED, "synthesis", (), None))
+
+    shared_providers: Dict[str, str] = {"synthesis": synth_id}
+    shared_nodes: Dict[str, str] = {}
+    plan_nodes: List[str] = []
+    for method, pipeline in (("pdw", PDW_PIPELINE), ("dawo", DAWO_PIPELINE)):
+        providers = dict(shared_providers)
+        for stage in pipeline:
+            is_shared = bool(getattr(stage, "shared", False))
+            if is_shared and stage.name in shared_nodes:
+                # Already materialized by the other method's chain.
+                if stage.provides:
+                    providers[stage.provides] = shared_nodes[stage.name]
+                continue
+            owner = SHARED if is_shared else method
+            node_id = f"{benchmark}/{owner}/{stage.name}"
+            deps = tuple(
+                sorted({providers[req] for req in stage.requires if req in providers})
+            )
+            draft.append((node_id, owner, stage.name, deps, stage))
+            if stage.provides:
+                providers[stage.provides] = node_id
+            if is_shared:
+                shared_nodes[stage.name] = node_id
+                if stage.provides:
+                    shared_providers[stage.provides] = node_id
+        if "plan" in providers:
+            plan_nodes.append(providers["plan"])
+
+    collect_id = f"{benchmark}/{RUN}/collect"
+    draft.append((collect_id, RUN, "collect", tuple(sorted(plan_nodes)), None))
+
+    # Critical-path priorities: creation order is topological (providers
+    # always precede consumers), so one reverse pass suffices.
+    children: Dict[str, List[str]] = {}
+    for node_id, _, _, deps, _ in draft:
+        for dep in deps:
+            children.setdefault(dep, []).append(node_id)
+    priority: Dict[str, float] = {}
+    for node_id, _, stage_name, _, _ in reversed(draft):
+        downstream = max(
+            (priority[child] for child in children.get(node_id, ())), default=0.0
+        )
+        priority[node_id] = _cost(stage_name) + downstream
+
+    return [
+        StageNode(
+            id=node_id,
+            benchmark=benchmark,
+            method=method,
+            stage=stage_name,
+            deps=deps,
+            priority=priority[node_id],
+            bench_index=bench_index,
+            order=order_base + offset,
+            stage_obj=stage_obj,
+        )
+        for offset, (node_id, method, stage_name, deps, stage_obj) in enumerate(draft)
+    ]
+
+
+def build_graph(names: Sequence[str]) -> List[StageNode]:
+    """The full suite DAG, one node list in deterministic order."""
+    nodes: List[StageNode] = []
+    for index, benchmark in enumerate(names):
+        nodes.extend(benchmark_nodes(benchmark, index, order_base=len(nodes)))
+    return nodes
