@@ -50,6 +50,7 @@ from repro.synth import synthesize
 from repro.viz import render_chip
 
 _SOLVERS = ("auto", "highs", "branch_bound", "greedy")
+_SOLVER_MODES = ("ladder", "race")
 
 _METHODS = {
     "pdw": lambda synth, cfg, cache: optimize_washes(synth, cfg, cache=cache),
@@ -97,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", choices=_SOLVERS, default="auto",
         help="pin a solver ladder rung (default: full degradation ladder)",
     )
+    p_run.add_argument(
+        "--solver-mode", choices=_SOLVER_MODES, default="ladder",
+        help="serial degradation ladder (default) or concurrent rung race",
+    )
     p_run.add_argument("--gantt", action="store_true", help="print the schedule chart")
     p_run.add_argument("--chip", action="store_true", help="print the chip layout")
     p_run.add_argument(
@@ -111,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_assay.add_argument("--method", choices=list(_METHODS), default="pdw")
     p_assay.add_argument("--time-limit", type=float, default=120.0)
     p_assay.add_argument("--solver", choices=_SOLVERS, default="auto")
+    p_assay.add_argument("--solver-mode", choices=_SOLVER_MODES, default="ladder")
     p_assay.add_argument("--gantt", action="store_true")
     p_assay.add_argument("--chip", action="store_true")
     p_assay.add_argument("--stats", action="store_true")
@@ -151,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_suite.add_argument("--time-limit", type=float, default=120.0)
     p_suite.add_argument(
+        "--solver-mode", choices=_SOLVER_MODES, default="ladder",
+        help="serial degradation ladder (default) or concurrent rung race",
+    )
+    p_suite.add_argument(
         "--timeout", type=float, default=600.0,
         help="per-benchmark wall-clock budget in seconds",
     )
@@ -182,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark matrix (default: the full Table II suite)",
     )
     p_bench.add_argument("--time-limit", type=float, default=120.0)
+    p_bench.add_argument(
+        "--solver-mode", choices=_SOLVER_MODES, default="ladder",
+        help="serial degradation ladder (default) or concurrent rung race",
+    )
     p_bench.add_argument(
         "--iterations", type=int, default=perf.DEFAULT_ITERATIONS,
         help="cold samples per benchmark (median/p95 are taken over these)",
@@ -297,7 +311,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_cache(args.action, getattr(args, "max_bytes", None))
 
     config = PDWConfig(
-        time_limit_s=args.time_limit, solver=getattr(args, "solver", "auto")
+        time_limit_s=args.time_limit,
+        solver=getattr(args, "solver", "auto"),
+        solver_mode=getattr(args, "solver_mode", "ladder"),
     )
 
     if args.command == "cost":
@@ -331,7 +347,10 @@ def _run_suite_cmd(args: argparse.Namespace) -> int:
     from repro.experiments.runner import FailureRecord, run_suite
     from repro.experiments.supervisor import RunBudget, SuiteSupervisor
 
-    config = PDWConfig(time_limit_s=args.time_limit)
+    config = PDWConfig(
+        time_limit_s=args.time_limit,
+        solver_mode=getattr(args, "solver_mode", "ladder"),
+    )
     budget = RunBudget(
         timeout_s=args.timeout,
         max_rss_bytes=int(args.max_rss * 2**20) if args.max_rss else None,
@@ -400,7 +419,10 @@ def _run_report_trace(args: argparse.Namespace) -> int:
 
 def _run_bench_cmd(args: argparse.Namespace) -> int:
     """``pdw bench``: perf baselines + optional regression gate."""
-    config = PDWConfig(time_limit_s=args.time_limit)
+    config = PDWConfig(
+        time_limit_s=args.time_limit,
+        solver_mode=getattr(args, "solver_mode", "ladder"),
+    )
     result = perf.run_bench(
         names=args.benchmarks or None,
         config=config,

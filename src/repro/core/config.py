@@ -61,6 +61,14 @@ class PDWConfig:
         the ILP entirely and assembles the plan with the sweep-line
         heuristic (``REPRO_FORCE_SOLVER`` overrides ``"auto"`` from the
         environment).
+    solver_mode:
+        How the portfolio executes its rungs.  ``"ladder"`` (default)
+        walks them serially under the budget-sliced degradation ladder —
+        existing plans stay byte-identical.  ``"race"`` runs the rungs
+        concurrently in subprocesses and takes the first acceptable
+        incumbent under a deterministic grace-window rule, cancelling the
+        losers (``REPRO_SOLVER_MODE`` overrides ``"ladder"`` from the
+        environment; see DESIGN.md).
     pathgen_workers:
         Thread-pool width for per-cluster candidate-path generation.
         ``0`` (default) defers to the ``REPRO_PATHGEN_WORKERS``
@@ -82,6 +90,7 @@ class PDWConfig:
     enable_integration: bool = True
     integration_window_s: float = 10.0
     solver: str = "auto"
+    solver_mode: str = "ladder"
     pathgen_workers: int = 0
 
     def __post_init__(self) -> None:
@@ -99,6 +108,8 @@ class PDWConfig:
             raise WashError("integration window must be non-negative")
         if self.solver not in ("auto", "highs", "branch_bound", "greedy"):
             raise WashError(f"unknown solver {self.solver!r}")
+        if self.solver_mode not in ("ladder", "race"):
+            raise WashError(f"unknown solver mode {self.solver_mode!r}")
         if self.pathgen_workers < 0:
             raise WashError("pathgen workers must be >= 0 (0 = env/serial)")
 

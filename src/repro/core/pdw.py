@@ -86,7 +86,9 @@ class PathDriverWash:
             return self._run(verify)
 
     def _run(self, verify: bool) -> WashPlan:
-        ctx = PDWContext(synthesis=self.synthesis, config=self.config)
+        ctx = PDWContext(
+            synthesis=self.synthesis, config=self.config, cache=self.cache
+        )
         run = PipelineRun(label=f"PDW:{self.synthesis.assay.name}", cache=self.cache)
 
         if self.tracker is not None:
@@ -123,7 +125,9 @@ def record_ilp_rows(run: PipelineRun, outcome) -> None:
     stage artifact came from the cache the stored build time belongs to an
     earlier process, so no row is recorded — the value still surfaces
     through the stage's ``build_time_s`` counter.  Each solver-ladder rung
-    attempt then gets its own ``ilp.rung.<rung>`` record.  Shared by the
+    attempt then gets its own ``ilp.rung.<rung>`` record, and a raced
+    solve adds one ``ilp.race`` record for the whole concurrent race
+    (surfacing as the ``pdw.ilp.race`` bench series).  Shared by the
     serial orchestrator above and the suite DAG executor's ILP node.
     """
     if outcome.build_time_s:
@@ -145,6 +149,13 @@ def record_ilp_rows(run: PipelineRun, outcome) -> None:
             wall_s=att.wall_s,
             counters=counters,
             detail=f"{att.status}: {att.message}" if att.message else att.status,
+        )
+    if getattr(outcome, "solver_mode", "ladder") == "race" and outcome.race_wall_s:
+        run.report.record(
+            "ilp.race",
+            wall_s=outcome.race_wall_s,
+            counters={"rungs": float(len(outcome.attempts))},
+            detail=f"winner: {outcome.rung}",
         )
 
 

@@ -34,6 +34,7 @@ from repro.ilp import (
     LinExpr,
     Model,
     RungAttempt,
+    Solution,
     SolverPortfolio,
     SolveStatus,
     Variable,
@@ -63,6 +64,14 @@ class IlpWashOutcome:
     rung: str = "highs"
     attempts: Tuple[RungAttempt, ...] = ()
     build_time_s: float = 0.0
+    #: How the portfolio executed: ``"ladder"`` (serial) or ``"race"``.
+    solver_mode: str = "ladder"
+    #: Wall-clock of the whole rung race (0.0 for ladder runs).
+    race_wall_s: float = 0.0
+    #: Whether a cached incumbent primed the solve (incremental re-solve).
+    warm_started: bool = False
+    #: Whether the built model was reused from the in-process memo.
+    model_reused: bool = False
 
 
 class WashScheduleIlp:
@@ -98,6 +107,9 @@ class WashScheduleIlp:
         #: batch constraint that mentions the selected wash duration.
         self._wash_dur_terms: Dict[str, List[Tuple[Variable, float]]] = {}
         self.build_time_s: float = 0.0
+        #: Solution of the most recent :meth:`solve`, kept so callers can
+        #: bank it as a warm-start incumbent for structural twins.
+        self.last_solution: Optional[Solution] = None
 
     # -- model assembly ---------------------------------------------------------
 
@@ -464,7 +476,38 @@ class WashScheduleIlp:
         self.model.set_objective(objective + 1e-6 * drift)
         self._t_assay = t_assay
 
+    def reweight(self, config: PDWConfig) -> None:
+        """Re-point the built model at new objective weights (Eq. 26 only).
+
+        The feasible region is weight-independent, so a job that differs
+        from this one only in alpha/beta/gamma can reuse the variables,
+        constraints and COO triplet buffers as-is — only the objective is
+        rebuilt, exactly as :meth:`_add_objective` would under the new
+        weights.  This is the incremental-re-solve fast path used by the
+        Pareto sweep (see :mod:`repro.ilp.incremental`).
+        """
+        if not self.model.variables:
+            raise WashError("reweight requires a built model")
+        self.config = config
+        length_total = LinExpr.sum(self._wash_length(c) for c in self.clusters)
+        objective = (
+            config.alpha * len(self.clusters)
+            + config.beta * length_total
+            + config.gamma * LinExpr.from_any(self._t_assay)
+        )
+        drift = LinExpr.sum(LinExpr.from_any(v) for v in self._t.values())
+        self.model.set_objective(objective + 1e-6 * drift)
+
     # -- solving / extraction -------------------------------------------------------------------
+
+    def ensure_built(self) -> None:
+        """Assemble the model exactly once (timed, traced)."""
+        if self.model.variables:
+            return
+        started = time.perf_counter()
+        with span("ilp.build", model=self.model.name):
+            self.build()
+        self.build_time_s = time.perf_counter() - started
 
     def solve(self, portfolio: Optional[SolverPortfolio] = None) -> IlpWashOutcome:
         """Build (if needed), solve via the degradation ladder, and extract.
@@ -474,14 +517,11 @@ class WashScheduleIlp:
         :class:`~repro.errors.LadderExhausted` (every backend rung failed)
         propagates so the ILP stage can fall back to greedy assembly.
         """
-        if not self.model.variables:
-            started = time.perf_counter()
-            with span("ilp.build", model=self.model.name):
-                self.build()
-            self.build_time_s = time.perf_counter() - started
+        self.ensure_built()
         pf = portfolio if portfolio is not None else SolverPortfolio.from_config(self.config)
         result = pf.solve(self.model)
         solution = result.solution
+        self.last_solution = solution if solution.status.has_solution else None
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleError(
                 f"PDW scheduling ILP is infeasible ({self.model.stats()})"
@@ -522,4 +562,7 @@ class WashScheduleIlp:
             rung=result.rung,
             attempts=result.attempts,
             build_time_s=self.build_time_s,
+            solver_mode=result.mode,
+            race_wall_s=result.race_wall_s,
+            warm_started=pf.incumbent is not None,
         )

@@ -44,8 +44,9 @@ from repro.core.plan import WashOperation, WashPlan
 from repro.core.schedule_ilp import IlpWashOutcome, WashScheduleIlp
 from repro.core.targets import WashCluster, cluster_requirements
 from repro.errors import LadderExhausted, WashError
-from repro.ilp import faults
-from repro.pipeline import StageBase, digest_synthesis
+from repro.ilp import SolverPortfolio, faults
+from repro.ilp import incremental
+from repro.pipeline import ArtifactCache, StageBase, digest_synthesis
 from repro.schedule.schedule import Schedule
 from repro.schedule.tasks import ScheduledTask, TaskKind
 from repro.synth.synthesis import SynthesisResult
@@ -57,6 +58,9 @@ class PDWContext:
 
     synthesis: SynthesisResult
     config: PDWConfig
+    #: The run's artifact cache (also holds warm-start incumbents); stays
+    #: ``None`` when the caller opted out of caching entirely.
+    cache: Optional["ArtifactCache"] = None
     tracker: Optional[ContaminationTracker] = None
     necessity: Optional[NecessityReport] = None
     clusters: List[WashCluster] = field(default_factory=list)
@@ -295,39 +299,79 @@ class PathGenStage(StageBase):
         ctx.candidates = result.candidates
 
 
+#: Built-model memo for the incremental re-solve fast path.  Keyed by the
+#: weight-independent structure digest, so jobs differing only in
+#: alpha/beta/gamma (the Pareto sweep) reuse the assembled constraint
+#: system via :meth:`WashScheduleIlp.reweight` instead of rebuilding.
+#: Checkout/checkin semantics keep entries single-owner under the suite
+#: DAG's worker threads (see :class:`repro.ilp.incremental.ModelMemo`).
+_MODEL_MEMO = incremental.ModelMemo(capacity=4)
+
+
 class ScheduleIlpStage(StageBase):
     """Build and solve the scheduling ILP (Eqs. 1-8, 16-26).
 
     Solving goes through the :class:`~repro.ilp.SolverPortfolio`
-    degradation ladder; when every backend rung fails
+    degradation ladder (or the concurrent rung race under
+    ``solver_mode="race"``); when every backend rung fails
     (:class:`LadderExhausted`) the stage falls back to greedy sweep-line
     assembly so a fault-injected or solver-less run still produces a
     valid, degraded plan.
+
+    Incremental re-solve: structurally identical jobs (same synthesis and
+    candidate knobs, any objective weights) share the built model via an
+    in-process memo and warm-start from the previous winner's assignment,
+    which — once vetted against the constraints — primes the
+    branch-and-bound rung.  HiGHS accepts no starting point, so healthy
+    primary-rung outputs are unaffected.
     """
 
     name = "ilp"
-    version = "3"
+    version = "4"
     requires = ("clusters", "candidates")
     provides = "outcome"
 
     def key(self, ctx: PDWContext):
         # The outcome depends on every config field (weights, limits, ...)
         # plus the solver-altering environment (fault injection / forced
-        # rung) — the latter must never poison the clean-run cache.
+        # rung / race mode) — none of which may poison the clean-run cache.
         return (ctx.synthesis_digest, ctx.config, faults.environment_token())
 
     def compute(self, ctx: PDWContext) -> IlpWashOutcome:
-        ilp = WashScheduleIlp(
-            ctx.synthesis.chip,
-            ctx.synthesis.schedule,
-            ctx.clusters,
-            ctx.candidates,
-            ctx.config,
-        )
+        structure = incremental.structure_digest(ctx.synthesis_digest, ctx.config)
+        ilp = _MODEL_MEMO.checkout(structure)
+        reused = ilp is not None
+        if reused:
+            incremental.observe("model_reused")
+            ilp.reweight(ctx.config)
+        else:
+            ilp = WashScheduleIlp(
+                ctx.synthesis.chip,
+                ctx.synthesis.schedule,
+                ctx.clusters,
+                ctx.candidates,
+                ctx.config,
+            )
         try:
-            return ilp.solve()
-        except LadderExhausted as exc:
-            return greedy_outcome(ctx, exc.attempts)
+            ilp.ensure_built()
+            cache = ctx.cache
+            payload = incremental.load_incumbent(cache, structure)
+            if payload is None:
+                incremental.observe("miss")
+                incumbent = None
+            else:
+                incumbent = incremental.adopt_incumbent(ilp.model, payload["values"])
+            portfolio = SolverPortfolio.from_config(ctx.config, incumbent=incumbent)
+            try:
+                outcome = ilp.solve(portfolio)
+            except LadderExhausted as exc:
+                return greedy_outcome(ctx, exc.attempts)
+            outcome.model_reused = reused
+            if ilp.last_solution is not None:
+                incremental.store_incumbent(cache, structure, ilp.last_solution, ctx.config)
+            return outcome
+        finally:
+            _MODEL_MEMO.checkin(structure, ilp)
 
     def counters(self, outcome: IlpWashOutcome) -> Dict[str, float]:
         stats = {
@@ -340,12 +384,23 @@ class ScheduleIlpStage(StageBase):
             "absorbed": float(len(outcome.absorbed)),
             "rungs_tried": float(len(outcome.attempts)),
         }
+        # Only reported when they fired, so default ladder runs keep the
+        # exact pre-race counter set (plan JSON embeds these).
+        if outcome.warm_started:
+            stats["warm_started"] = 1.0
+        if outcome.model_reused:
+            stats["model_reused"] = 1.0
         if outcome.mip_gap is not None:
             stats["mip_gap"] = outcome.mip_gap
+        if outcome.solver_mode == "race":
+            stats["race_wall_s"] = round(outcome.race_wall_s, 6)
         return stats
 
     def detail(self, outcome: IlpWashOutcome) -> str:
-        return f"{outcome.status.value} via {outcome.rung}; {outcome.model_stats}"
+        mode = f" [{outcome.solver_mode}]" if outcome.solver_mode != "ladder" else ""
+        return (
+            f"{outcome.status.value} via {outcome.rung}{mode}; {outcome.model_stats}"
+        )
 
 
 class AssembleStage(StageBase):

@@ -32,7 +32,6 @@ render failed rows as ``FAILED(kind)``, and ``pdw suite`` exits 3.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import random
 import signal
@@ -65,6 +64,10 @@ from repro.pipeline import (
     default_cache_dir,
     digest_config,
 )
+from repro.procutil import MP as _MP
+from repro.procutil import reap as _reap
+from repro.procutil import safe_send as _safe_send
+from repro.procutil import terminate as _terminate
 from repro.sched import journal as sched_journal
 
 #: Failure kinds worth retrying: a flaky worker death or a stall can be
@@ -77,12 +80,6 @@ JOURNAL_NAME = os.path.join("journal", "suite.jsonl")
 
 #: Merged metrics dump written next to the journal after every suite run.
 METRICS_DUMP_NAME = os.path.join("journal", "metrics.json")
-
-#: Prefer fork: workers inherit the warmed interpreter; fall back to
-#: spawn where fork is unavailable (all arguments are picklable).
-_MP = multiprocessing.get_context(
-    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-)
 
 
 @dataclass(frozen=True)
@@ -149,13 +146,6 @@ def _child_entry(conn, name, config, use_cache, cache, max_rss_bytes) -> None:
             conn.close()
         except OSError:
             pass
-
-
-def _safe_send(conn, payload) -> None:
-    try:
-        conn.send(payload)
-    except (OSError, ValueError):
-        pass  # parent is gone or payload unpicklable; exit code tells the rest
 
 
 @dataclass
@@ -482,23 +472,6 @@ class SuiteSupervisor:
             return None
         stored.from_cache = True
         return adopt_run(stored, cfg)
-
-
-def _terminate(proc) -> None:
-    try:
-        proc.kill()
-    except (OSError, AttributeError):
-        try:
-            proc.terminate()
-        except OSError:
-            pass
-
-
-def _reap(proc) -> None:
-    proc.join(timeout=5.0)
-    if proc.is_alive():
-        _terminate(proc)
-        proc.join(timeout=5.0)
 
 
 # ---------------------------------------------------------------------------

@@ -58,8 +58,18 @@ class BranchAndBoundSolver:
     def __call__(self, model: Model) -> Solution:
         return self.solve(model)
 
-    def solve(self, model: Model) -> Solution:
-        """Solve ``model`` to optimality (or best effort within limits)."""
+    def solve(self, model: Model, incumbent: Optional[Solution] = None) -> Solution:
+        """Solve ``model`` to optimality (or best effort within limits).
+
+        ``incumbent`` optionally warm-starts the search: a known-feasible
+        solution of the *same* model (e.g. from an earlier solve that
+        differed only in objective weights) becomes the initial best, so
+        every node whose relaxation bound cannot beat it is pruned from
+        the first pop.  An incumbent that does not cover every variable
+        is ignored — feasibility is the caller's contract (see
+        :func:`repro.ilp.incremental.adopt_incumbent`, which verifies it
+        against the constraints before passing it here).
+        """
         started = time.perf_counter()
         n = len(model.variables)
         if n == 0:
@@ -80,6 +90,11 @@ class BranchAndBoundSolver:
 
         best_x: Optional[np.ndarray] = None
         best_obj = math.inf
+        if incumbent is not None and incumbent.status.has_solution:
+            warm = self._warm_point(model, incumbent)
+            if warm is not None:
+                best_x = warm
+                best_obj = float(c @ warm)
         explored = 0
         proven_infeasible_root = False
 
@@ -133,6 +148,17 @@ class BranchAndBoundSolver:
         return Solution(status, objective, values, solve_time_s=elapsed)
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _warm_point(model: Model, incumbent: Solution) -> Optional[np.ndarray]:
+        """The incumbent as a dense point in this model's variable order."""
+        x = np.zeros(len(model.variables))
+        for var in model.variables:
+            value = incumbent.values.get(var)
+            if value is None:
+                return None
+            x[var.index] = float(value)
+        return x
 
     @staticmethod
     def _standard_form(model: Model):

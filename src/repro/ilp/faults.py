@@ -54,6 +54,11 @@ ENV_FAULT = "REPRO_INJECT_SOLVER_FAULT"
 ENV_FORCE = "REPRO_FORCE_SOLVER"
 #: Environment variable seeding the ``flaky`` pseudo-random stream.
 ENV_SEED = "REPRO_FAULT_SEED"
+#: Environment variable selecting the portfolio execution mode.
+ENV_MODE = "REPRO_SOLVER_MODE"
+
+#: Valid ``REPRO_SOLVER_MODE`` / ``PDWConfig.solver_mode`` values.
+MODE_CHOICES = ("ladder", "race")
 
 #: Rungs the injected faults apply to (the primary backend's attempts).
 FAULT_TARGET_RUNGS = ("highs", "highs-relaxed")
@@ -113,17 +118,46 @@ def forced_solver() -> Optional[str]:
     return raw
 
 
+def env_solver_mode() -> Optional[str]:
+    """The portfolio mode from ``REPRO_SOLVER_MODE``, or ``None``."""
+    raw = os.environ.get(ENV_MODE, "").strip()
+    if not raw:
+        return None
+    if raw not in MODE_CHOICES:
+        raise SolverError(
+            f"unknown {ENV_MODE} value {raw!r}; expected one of {MODE_CHOICES}"
+        )
+    return raw
+
+
+def resolve_solver_mode(config_mode: str = "ladder") -> str:
+    """Effective portfolio mode: config wins unless left at the default.
+
+    Mirrors the ``pathgen_workers`` convention — an explicit
+    ``PDWConfig.solver_mode`` (or ``--solver-mode``) beats the
+    environment; ``REPRO_SOLVER_MODE`` only overrides the ``"ladder"``
+    default, so a suite can be flipped to racing without touching configs.
+    """
+    if config_mode != "ladder":
+        return config_mode
+    return env_solver_mode() or config_mode
+
+
 def environment_token() -> str:
     """Cache-key token covering the solver-altering environment.
 
     Empty in a clean environment, so existing digests are unchanged when
-    neither variable is set.
+    no variable is set.  ``REPRO_SOLVER_MODE`` is covered because a raced
+    solve may legitimately select a different rung's incumbent than the
+    serial ladder would, and that outcome must not masquerade as the
+    ladder's in any solve-covering cache.
     """
     fault = os.environ.get(ENV_FAULT, "").strip()
     force = os.environ.get(ENV_FORCE, "").strip()
-    if not fault and not force:
+    mode = os.environ.get(ENV_MODE, "").strip()
+    if not fault and not force and not mode:
         return ""
-    return f"fault={fault};force={force}"
+    return f"fault={fault};force={force};mode={mode}"
 
 
 def reset() -> None:

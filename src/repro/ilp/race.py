@@ -1,0 +1,406 @@
+"""Concurrent solver-rung racing: first acceptable incumbent wins.
+
+The degradation ladder (:mod:`repro.ilp.portfolio`) walks its rungs
+serially, so a doomed primary attempt burns its whole budget slice before
+the fallback even starts.  Under ``solver_mode="race"`` the portfolio
+instead launches every rung *concurrently* — each in its own subprocess
+via the same fork-preferred context, kill and reap helpers the suite
+supervisor uses (:mod:`repro.procutil`) — and selects a winner under a
+deterministic rule:
+
+1. A rung that proves ``INFEASIBLE``/``UNBOUNDED`` wins immediately: the
+   model is broken, no rung can fix it.
+2. The first *acceptable* incumbent (``OPTIMAL``/``FEASIBLE``) opens a
+   fixed grace window.  If every higher-priority rung has already failed
+   terminally, the incumbent wins on the spot; otherwise the race waits
+   out the window for a higher-priority result, then takes the
+   best-priority acceptable incumbent seen.  Priorities are the ladder
+   order (``highs`` before ``highs-relaxed`` before ``branch_bound``), so
+   ties break identically run-to-run.
+3. Losers are cancelled (killed and reaped), recorded as ``cancelled``
+   attempts, and counted in ``pdw_solver_race_cancelled_total`` — they
+   never linger as orphan subprocesses.
+
+Each rung receives the *full* portfolio budget rather than a ladder
+slice — overlapping the rungs in time is exactly the point.  Fault
+injection (:mod:`repro.ilp.faults`) still applies: children inherit the
+environment and consult :func:`~repro.ilp.faults.maybe_inject` before
+solving, so an injected crash on the primary rung lets a concurrent rung
+win without serial waiting.
+
+Children ship only plain data over the pipe (status string, objective,
+``{variable name: value}``); the parent rebuilds the
+:class:`~repro.ilp.solution.Solution` against its own model, because
+:class:`~repro.ilp.expr.Variable` hashes by identity and a child's copies
+would never match the parent's extraction lookups.
+
+Daemonic worker processes (the suite supervisor's benchmark isolation)
+may not fork children of their own, so inside one the race degrades to
+daemon *threads* running the same selection rule in-process — losers
+then finish or die with the worker instead of being killed, which the
+``strategy`` span attribute and journaled attempts make visible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LadderExhausted, SolverError
+from repro.ilp import faults
+from repro.ilp.branch_bound import BranchAndBoundSolver
+from repro.ilp.model import Model
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.solver import HighsOptions, solve as highs_solve
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.procutil import MP, in_daemon_process, reap, safe_send, terminate
+
+#: Selection priority per rung: lower wins ties (the ladder order).
+RUNG_PRIORITY = {"highs": 0, "highs-relaxed": 1, "branch_bound": 2}
+
+#: Extra seconds the parent waits past the budget for a child that is
+#: finishing right at its own (soft) time limit to report.
+_REAP_MARGIN_S = 0.5
+
+#: Poll interval of the selection loop.
+_POLL_S = 0.005
+
+
+def _run_rung(
+    model: Model,
+    rung: str,
+    budget_s: float,
+    mip_gap: Optional[float],
+    relaxed_gap: float,
+    bb_max_nodes: int,
+) -> Solution:
+    """One rung's solve, identical to the ladder's runner for that rung."""
+    if rung == "highs":
+        return highs_solve(model, options=HighsOptions(time_limit_s=budget_s, mip_gap=mip_gap))
+    if rung == "highs-relaxed":
+        gap = max(relaxed_gap, 5.0 * (mip_gap or 0.01))
+        return highs_solve(
+            model,
+            options=HighsOptions(time_limit_s=budget_s, mip_gap=gap, presolve=False),
+        )
+    if rung == "branch_bound":
+        return BranchAndBoundSolver(
+            time_limit_s=budget_s, max_nodes=bb_max_nodes
+        ).solve(model)
+    raise SolverError(f"unknown race rung {rung!r}")
+
+
+def _child_solve(
+    conn,
+    model: Model,
+    rung: str,
+    budget_s: float,
+    mip_gap: Optional[float],
+    relaxed_gap: float,
+    bb_max_nodes: int,
+) -> None:
+    """Race-child body: solve one rung, report plain data over the pipe."""
+    try:
+        solution = faults.maybe_inject(rung)
+        if solution is None:
+            solution = _run_rung(model, rung, budget_s, mip_gap, relaxed_gap, bb_max_nodes)
+        safe_send(
+            conn,
+            (
+                "solution",
+                solution.status.value,
+                solution.objective,
+                dict(solution.as_name_map()),
+                solution.solve_time_s,
+                solution.mip_gap,
+                solution.message,
+            ),
+        )
+    except SolverError as exc:
+        safe_send(conn, ("error", str(exc)))
+    except BaseException as exc:  # noqa: BLE001 — a racer must always report
+        safe_send(conn, ("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        try:
+            conn.close()
+        except (OSError, AttributeError):
+            pass
+
+
+class _ProcessRacer:
+    """One rung running in a subprocess (the normal strategy)."""
+
+    def __init__(self, model: Model, rung: str, args: tuple):
+        parent_conn, child_conn = MP.Pipe(duplex=False)
+        self.conn = parent_conn
+        self.proc = MP.Process(
+            target=_child_solve,
+            args=(child_conn, model, rung, *args),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()  # parent keeps only the read end
+
+    def poll(self) -> Optional[tuple]:
+        if self.conn.poll(0):
+            try:
+                return self.conn.recv()
+            except (EOFError, OSError):
+                return ("error", "race worker died mid-send")
+        return None
+
+    def finished_silently(self) -> bool:
+        return not self.proc.is_alive()
+
+    def exit_note(self) -> str:
+        return f"race worker exited with code {self.proc.exitcode} before reporting"
+
+    def cancel(self) -> None:
+        terminate(self.proc)
+
+    def close(self) -> None:
+        reap(self.proc)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _ThreadRacer:
+    """One rung on a daemon thread (fallback inside daemonic workers).
+
+    Cancellation is cooperative only: a losing solve cannot be killed
+    mid-flight, but its result is discarded and the daemon thread dies
+    with the (short-lived) worker process that hosts the race.
+    """
+
+    def __init__(self, model: Model, rung: str, args: tuple):
+        self._payload: Optional[tuple] = None
+        self._lock = threading.Lock()
+
+        def body() -> None:
+            payload: Optional[tuple] = None
+            try:
+                solution = faults.maybe_inject(rung)
+                if solution is None:
+                    solution = _run_rung(model, rung, *args)
+                payload = (
+                    "solution",
+                    solution.status.value,
+                    solution.objective,
+                    dict(solution.as_name_map()),
+                    solution.solve_time_s,
+                    solution.mip_gap,
+                    solution.message,
+                )
+            except SolverError as exc:
+                payload = ("error", str(exc))
+            except BaseException as exc:  # noqa: BLE001
+                payload = ("error", f"{type(exc).__name__}: {exc}")
+            with self._lock:
+                self._payload = payload
+
+        self.thread = threading.Thread(
+            target=body, name=f"ilp-race-{rung}", daemon=True
+        )
+        self.thread.start()
+
+    def poll(self) -> Optional[tuple]:
+        with self._lock:
+            payload, self._payload = self._payload, None
+            return payload
+
+    def finished_silently(self) -> bool:
+        return not self.thread.is_alive()
+
+    def exit_note(self) -> str:
+        return "race thread exited before reporting"
+
+    def cancel(self) -> None:
+        pass  # cooperative: the daemon thread dies with the process
+
+    def close(self) -> None:
+        self.thread.join(timeout=0.05)
+
+
+def run_race(
+    model: Model,
+    rungs: Sequence[str],
+    time_limit_s: float,
+    grace_s: float,
+    mip_gap: Optional[float] = None,
+    relaxed_gap: float = 0.05,
+    bb_max_nodes: int = 200_000,
+) -> Tuple[Solution, str, Tuple["RungAttempt", ...]]:
+    """Race ``rungs`` concurrently; return ``(solution, winner, attempts)``.
+
+    Raises :class:`LadderExhausted` (with the attempt records) when no
+    rung produced a usable incumbent within the budget.
+    """
+    from repro.ilp.portfolio import RungAttempt, _publish_attempt
+
+    reg = obs_metrics.registry()
+    priorities = {rung: RUNG_PRIORITY.get(rung, len(RUNG_PRIORITY)) for rung in rungs}
+    ordered = sorted(rungs, key=lambda r: priorities[r])
+    use_threads = in_daemon_process()
+    racer_cls = _ThreadRacer if use_threads else _ProcessRacer
+    args = (time_limit_s, mip_gap, relaxed_gap, bb_max_nodes)
+
+    started = time.perf_counter()
+    deadline = started + time_limit_s + _REAP_MARGIN_S
+    with span(
+        "ilp.race",
+        rungs=len(ordered),
+        budget_s=round(time_limit_s, 3),
+        strategy="threads" if use_threads else "processes",
+    ) as sp:
+        active: Dict[str, object] = {}
+        for rung in ordered:
+            active[rung] = racer_cls(model, rung, args)
+            reg.counter("pdw_solver_race_launched_total", rung=rung).inc()
+
+        attempts: Dict[str, RungAttempt] = {}
+        solutions: Dict[str, Solution] = {}
+        first_acceptable_at: Optional[float] = None
+        winner: Optional[str] = None
+        proven: Optional[str] = None
+
+        def settle(rung: str, attempt: RungAttempt) -> None:
+            attempts[rung] = attempt
+            _publish_attempt(attempt)
+
+        while active and proven is None and winner is None:
+            progressed = False
+            for rung in list(active):
+                racer = active[rung]
+                payload = racer.poll()
+                if payload is None:
+                    if racer.finished_silently():
+                        payload = ("error", racer.exit_note())
+                    else:
+                        continue
+                progressed = True
+                del active[rung]
+                racer.close()
+                wall = time.perf_counter() - started
+                if payload[0] == "error":
+                    settle(
+                        rung,
+                        RungAttempt(
+                            rung=rung,
+                            status=SolveStatus.ERROR.value,
+                            wall_s=wall,
+                            message=payload[1],
+                        ),
+                    )
+                    continue
+                _, status_value, objective, by_name, solve_time_s, gap, message = payload
+                status = SolveStatus(status_value)
+                solution = _rebuild(model, status, objective, by_name, solve_time_s, gap, message)
+                settle(
+                    rung,
+                    RungAttempt(
+                        rung=rung,
+                        status=solution.status.value,
+                        wall_s=wall,
+                        mip_gap=solution.mip_gap,
+                        objective=solution.objective,
+                        message=solution.message,
+                    ),
+                )
+                if solution.status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
+                    solutions[rung] = solution
+                    proven = rung
+                    break
+                if solution.status.has_solution:
+                    solutions[rung] = solution
+                    if first_acceptable_at is None:
+                        first_acceptable_at = time.perf_counter()
+
+            if proven is not None:
+                break
+            now = time.perf_counter()
+            if solutions:
+                best = min(solutions, key=lambda r: priorities[r])
+                higher_still_racing = any(
+                    priorities[r] < priorities[best] for r in active
+                )
+                if not higher_still_racing or now >= (first_acceptable_at or now) + grace_s:
+                    winner = best
+                    break
+            if now > deadline:
+                break
+            if not progressed and active:
+                time.sleep(_POLL_S)
+
+        # Whatever is still running lost (or timed out): kill, reap, record.
+        for rung, racer in active.items():
+            racer.cancel()
+            racer.close()
+            cause = (
+                f"lost the race to {proven or winner!r}"
+                if (proven or winner)
+                else "race budget exhausted"
+            )
+            settle(
+                rung,
+                RungAttempt(
+                    rung=rung,
+                    status="cancelled",
+                    wall_s=time.perf_counter() - started,
+                    message=cause,
+                ),
+            )
+            reg.counter("pdw_solver_race_cancelled_total", rung=rung).inc()
+
+        total_wall = time.perf_counter() - started
+        reg.histogram("pdw_solver_race_wall_seconds").observe(total_wall)
+        # Attempts in priority order: deterministic regardless of OS timing.
+        record = tuple(attempts[r] for r in ordered if r in attempts)
+
+        chosen = proven or winner
+        if chosen is None and solutions:
+            # Deadline hit while a grace window was still open.
+            chosen = min(solutions, key=lambda r: priorities[r])
+        if chosen is None:
+            sp.set("status", "exhausted")
+            raise LadderExhausted(
+                "every racing solver rung failed", attempts=list(record)
+            )
+        sp.set("status", "won")
+        sp.set("winner", chosen)
+        reg.counter("pdw_solver_race_winner_total", rung=chosen).inc()
+        return solutions[chosen], chosen, record
+
+
+def _rebuild(
+    model: Model,
+    status: SolveStatus,
+    objective,
+    by_name,
+    solve_time_s,
+    gap,
+    message,
+) -> Solution:
+    """Re-key a child's ``{name: value}`` map onto the parent's variables."""
+    values = {}
+    if status.has_solution:
+        mapping = by_name if isinstance(by_name, dict) else {}
+        for var in model.variables:
+            if var.name not in mapping:
+                return Solution(
+                    SolveStatus.ERROR,
+                    solve_time_s=solve_time_s,
+                    message=f"race result missing variable {var.name!r}",
+                )
+            values[var] = float(mapping[var.name])
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        solve_time_s=solve_time_s,
+        mip_gap=gap,
+        message=message,
+    )

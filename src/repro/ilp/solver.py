@@ -10,7 +10,7 @@ budget.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy import sparse
@@ -114,14 +114,17 @@ def solve(
     becomes :attr:`SolveStatus.FEASIBLE`, matching the paper's best-effort
     runs.
     """
+    # Caller-supplied scalar overrides win over the corresponding fields
+    # of ``options``, symmetrically — a ``mip_gap`` override must not be
+    # dropped just because the time limits happened to agree.
     opts = options or HighsOptions(time_limit_s=time_limit_s, mip_gap=mip_gap)
+    overrides = {}
     if time_limit_s is not None and opts.time_limit_s != time_limit_s:
-        opts = HighsOptions(
-            time_limit_s=time_limit_s,
-            mip_gap=mip_gap if mip_gap is not None else opts.mip_gap,
-            presolve=opts.presolve,
-            node_limit=opts.node_limit,
-        )
+        overrides["time_limit_s"] = time_limit_s
+    if mip_gap is not None and opts.mip_gap != mip_gap:
+        overrides["mip_gap"] = mip_gap
+    if overrides:
+        opts = replace(opts, **overrides)
 
     if not model.variables:
         obj = model.objective.constant

@@ -446,8 +446,10 @@ class DagExecutor:
             },
         )
         bench.synthesis = synthesis
-        bench.pdw_ctx = PDWContext(synthesis=synthesis, config=cfg)
-        bench.dawo_ctx = PDWContext(synthesis=synthesis, config=DAWO_CONFIG)
+        bench.pdw_ctx = PDWContext(synthesis=synthesis, config=cfg, cache=self.cache)
+        bench.dawo_ctx = PDWContext(
+            synthesis=synthesis, config=DAWO_CONFIG, cache=self.cache
+        )
         bench.pdw_run.report.label = f"PDW:{synthesis.assay.name}"
         bench.dawo_run.report.label = f"DAWO:{synthesis.assay.name}"
         return "computed"

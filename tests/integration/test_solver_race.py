@@ -1,0 +1,123 @@
+"""End-to-end acceptance of concurrent rung racing and warm re-solve.
+
+The racing bar mirrors the resilience suite's: with ``solver_mode="race"``
+a full PDW run must complete, pick its winner deterministically, replay
+cleanly through the independent :mod:`repro.sim.validate` gauntlet, and —
+with a crash injected into the HiGHS rungs — let the concurrent
+branch-and-bound rung win while the losers are visibly cancelled and no
+subprocess lingers.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import PDWConfig, optimize_washes
+from repro.ilp import faults
+from repro.obs import metrics
+from repro.pipeline import ArtifactCache
+from repro.sim.validate import validation_problems
+
+RACE_CFG = PDWConfig(time_limit_s=30.0, solver_mode="race")
+
+
+def _no_orphans(timeout_s: float = 5.0) -> bool:
+    """Whether every race subprocess is gone (reaped) shortly after a run."""
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestRacedRuns:
+    def test_raced_plan_is_valid_and_reports_race(self, demo_synthesis):
+        plan = optimize_washes(demo_synthesis, RACE_CFG)
+        assert plan.solver_status in ("optimal", "feasible")
+        assert validation_problems(plan, demo_synthesis) == []
+        assert "ilp.race" in plan.report.stage_names()
+        assert _no_orphans()
+
+    def test_race_winner_and_plan_are_deterministic(self, demo_synthesis):
+        runs = [optimize_washes(demo_synthesis, RACE_CFG) for _ in range(3)]
+        winners = {p.solver_rung for p in runs}
+        assert len(winners) == 1
+        starts = {
+            tuple(sorted((w.id, w.start) for w in p.washes)) for p in runs
+        }
+        assert len(starts) == 1
+
+    def test_raced_plan_matches_ladder_washes(self, demo_synthesis):
+        # Healthy environment: HiGHS wins the race, so the raced plan
+        # must schedule the same washes the serial ladder produces.
+        ladder = optimize_washes(demo_synthesis, PDWConfig(time_limit_s=30.0))
+        raced = optimize_washes(demo_synthesis, RACE_CFG)
+        assert raced.solver_rung == ladder.solver_rung == "highs"
+        assert [(w.id, w.start, w.path) for w in raced.washes] == [
+            (w.id, w.start, w.path) for w in ladder.washes
+        ]
+
+    def test_env_variable_flips_the_suite_to_racing(self, demo_synthesis, monkeypatch):
+        monkeypatch.setenv(faults.ENV_MODE, "race")
+        plan = optimize_washes(demo_synthesis, PDWConfig(time_limit_s=30.0))
+        assert "ilp.race" in plan.report.stage_names()
+
+
+class TestCrashedPrimaryRace:
+    def test_concurrent_rung_wins_and_losers_are_cancelled(
+        self, demo_synthesis, solver_fault
+    ):
+        solver_fault("crash")
+        cancelled_before = _cancelled_total()
+        plan = optimize_washes(demo_synthesis, RACE_CFG)
+        # Both HiGHS rungs crash (FAULT_TARGET_RUNGS), so the concurrent
+        # branch-and-bound rung must take the race.
+        assert plan.solver_rung == "branch_bound"
+        assert plan.solver_status in ("optimal", "feasible")
+        assert validation_problems(plan, demo_synthesis) == []
+        # The journal of attempts shows the crashed rungs...
+        rung_stages = plan.report.stage_names()
+        assert "ilp.rung.highs" in rung_stages
+        assert "ilp.rung.highs-relaxed" in rung_stages
+        # ... and nothing lingers as an orphan subprocess.
+        assert _no_orphans()
+        assert _cancelled_total() >= cancelled_before
+
+
+def _cancelled_total() -> float:
+    total = 0.0
+    reg = metrics.registry()
+    for line in reg.render_prometheus().splitlines():
+        if line.startswith("pdw_solver_race_cancelled_total"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+class TestWarmResolve:
+    def test_weight_sweep_reuses_model_and_incumbent(self, demo_synthesis, tmp_path):
+        cache = ArtifactCache(tmp_path / "warm")
+        cold = optimize_washes(
+            demo_synthesis, PDWConfig(alpha=0.3, beta=0.3, gamma=0.4), cache=cache
+        )
+        warm = optimize_washes(
+            demo_synthesis, PDWConfig(alpha=0.7, beta=0.2, gamma=0.1), cache=cache
+        )
+        assert cold.notes.get("stage.ilp.warm_started") is None
+        assert warm.notes.get("stage.ilp.warm_started") == 1.0
+        assert warm.notes.get("stage.ilp.model_reused") == 1.0
+        assert validation_problems(warm, demo_synthesis) == []
+
+    def test_warm_resolve_plan_equals_cold_plan(self, demo_synthesis, tmp_path):
+        # Priming only helps branch-and-bound prune; with HiGHS healthy
+        # the warm plan must be identical to a cold solve of the same
+        # weights in a fresh process.
+        cache = ArtifactCache(tmp_path / "warm")
+        weights = PDWConfig(alpha=0.7, beta=0.2, gamma=0.1)
+        optimize_washes(demo_synthesis, PDWConfig(), cache=cache)
+        warm = optimize_washes(demo_synthesis, weights, cache=cache)
+        cold = optimize_washes(demo_synthesis, weights)
+        assert [(w.id, w.start, w.path) for w in warm.washes] == [
+            (w.id, w.start, w.path) for w in cold.washes
+        ]

@@ -1,9 +1,11 @@
 """Unit tests for the solver degradation ladder and fault injection."""
 
+import time
+
 import pytest
 
 from repro.errors import LadderExhausted, SolverError
-from repro.ilp import LinExpr, Model, SolverPortfolio, SolveStatus
+from repro.ilp import LinExpr, Model, Solution, SolverPortfolio, SolveStatus
 from repro.ilp import faults
 
 
@@ -47,6 +49,77 @@ class TestCleanLadder:
     def test_unknown_force_rejected(self):
         with pytest.raises(SolverError):
             SolverPortfolio(force="simplex-by-hand")
+
+
+class _SlowRungPortfolio(SolverPortfolio):
+    """Every rung ignores its budget, overruns, and fails.
+
+    Models HiGHS's soft time limit: the regression guarded here is the
+    ladder handing every later rung the ``min_rung_budget_s`` floor even
+    after the *global* deadline had already been blown.
+    """
+
+    def __init__(self, overrun_s: float, **kwargs):
+        super().__init__(**kwargs)
+        self.overrun_s = overrun_s
+        self.granted: list = []
+
+    def _overrun(self, budget_s: float) -> Solution:
+        self.granted.append(budget_s)
+        time.sleep(self.overrun_s)
+        return Solution(SolveStatus.ERROR, message="still grinding")
+
+    def _run_highs(self, model, budget_s):
+        return self._overrun(budget_s)
+
+    def _run_highs_relaxed(self, model, budget_s):
+        return self._overrun(budget_s)
+
+    def _run_branch_bound(self, model, budget_s):
+        return self._overrun(budget_s)
+
+
+class TestBudgetClamp:
+    """The portfolio's global deadline is a ceiling, not a suggestion."""
+
+    def test_slice_zero_once_deadline_passed(self):
+        pf = SolverPortfolio(time_limit_s=5.0)
+        assert pf._slice("highs", time.perf_counter() - 1.0) == 0.0
+        assert pf._slice("branch_bound", time.perf_counter() - 1.0) == 0.0
+
+    def test_slice_floor_clamped_to_remaining(self):
+        # Pre-fix, the min_rung_budget_s floor *extended* the deadline:
+        # with 0.4s left a rung was still granted the full 1.0s floor.
+        pf = SolverPortfolio(time_limit_s=5.0, min_rung_budget_s=1.0)
+        budget = pf._slice("branch_bound", time.perf_counter() + 0.4)
+        assert 0.0 < budget <= 0.4 + 1e-3
+
+    def test_overrunning_rungs_cannot_leak_past_the_budget(self):
+        # 2s global budget, every rung overruns its slice by sleeping
+        # 1.2s: the ladder must stop once the deadline is exhausted
+        # instead of walking all three rungs at the floor (~2x budget
+        # total wall, never the leaky 3.6s+).
+        pf = _SlowRungPortfolio(
+            overrun_s=1.2, time_limit_s=2.0, min_rung_budget_s=1.0
+        )
+        started = time.perf_counter()
+        with pytest.raises(LadderExhausted) as exc_info:
+            pf.solve(knapsack_model())
+        wall = time.perf_counter() - started
+        assert wall <= 2.0 * 2.0
+        assert len(exc_info.value.attempts) <= 2
+        # Every granted slice respected the remaining global budget.
+        deadline_total = sum(pf.granted)
+        assert deadline_total <= 2.0 + 1e-3
+
+    def test_first_rung_always_granted_the_floor(self):
+        # A microscopic budget must still produce one genuine attempt.
+        pf = _SlowRungPortfolio(
+            overrun_s=0.0, time_limit_s=1e-9, min_rung_budget_s=1.0
+        )
+        with pytest.raises(LadderExhausted):
+            pf.solve(knapsack_model())
+        assert pf.granted[0] == pytest.approx(1.0)
 
 
 class TestFaultInjection:
@@ -121,6 +194,99 @@ class TestForcedRungs:
         assert auto.force is None
 
 
+class TestRaceMode:
+    """The concurrent rung race (solver_mode="race")."""
+
+    def test_race_solves_and_reports_mode(self):
+        result = SolverPortfolio(
+            time_limit_s=30.0, mode="race", race_grace_s=1.0
+        ).solve(knapsack_model())
+        assert result.mode == "race"
+        assert result.race_wall_s > 0.0
+        assert result.solution.status.has_solution
+        assert result.solution.objective == pytest.approx(21.0)
+        # Every launched rung is accounted for: winner, finisher, or
+        # explicitly cancelled — never silently dropped.
+        assert {a.rung for a in result.attempts} == {
+            "highs", "highs-relaxed", "branch_bound",
+        }
+
+    def test_race_winner_is_deterministic(self):
+        winners = {
+            SolverPortfolio(time_limit_s=30.0, mode="race", race_grace_s=1.0)
+            .solve(knapsack_model())
+            .rung
+            for _ in range(3)
+        }
+        assert winners == {"highs"}
+
+    def test_race_attempts_in_priority_order(self):
+        result = SolverPortfolio(
+            time_limit_s=30.0, mode="race", race_grace_s=1.0
+        ).solve(knapsack_model())
+        rungs = [a.rung for a in result.attempts]
+        assert rungs == sorted(
+            rungs, key=lambda r: {"highs": 0, "highs-relaxed": 1, "branch_bound": 2}[r]
+        )
+
+    def test_race_proves_infeasible(self):
+        result = SolverPortfolio(
+            time_limit_s=30.0, mode="race", race_grace_s=1.0
+        ).solve(infeasible_model())
+        assert result.solution.status is SolveStatus.INFEASIBLE
+
+    def test_forced_rung_implies_ladder(self):
+        result = SolverPortfolio(
+            time_limit_s=30.0, mode="race", force="branch_bound"
+        ).solve(knapsack_model())
+        assert result.mode == "ladder"
+        assert result.rung == "branch_bound"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SolverError):
+            SolverPortfolio(mode="regatta")
+
+    def test_env_mode_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_MODE, "race")
+        assert SolverPortfolio(time_limit_s=30.0).mode == "race"
+
+    def test_explicit_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_MODE, "ladder")
+        assert faults.resolve_solver_mode("race") == "race"
+
+    def test_junk_env_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_MODE, "regatta")
+        with pytest.raises(SolverError):
+            faults.env_solver_mode()
+
+    def test_crash_fault_lets_concurrent_rung_win(self, solver_fault):
+        # The injected crash hits both HiGHS rungs (FAULT_TARGET_RUNGS),
+        # so branch_bound must win the race without serial waiting.
+        solver_fault("crash")
+        result = SolverPortfolio(
+            time_limit_s=30.0, mode="race", race_grace_s=1.0
+        ).solve(knapsack_model())
+        assert result.rung == "branch_bound"
+        assert result.solution.objective == pytest.approx(21.0)
+
+    def test_race_leaves_no_orphan_processes(self):
+        import multiprocessing
+
+        SolverPortfolio(
+            time_limit_s=30.0, mode="race", race_grace_s=0.05
+        ).solve(knapsack_model())
+        deadline = time.perf_counter() + 5.0
+        while time.perf_counter() < deadline:
+            racers = [
+                p for p in multiprocessing.active_children()
+                if not p.name.startswith("SyncManager")
+            ]
+            if not racers:
+                break
+            time.sleep(0.01)
+        assert not racers
+
+
 class TestFaultSpecParsing:
     def test_plain_kinds(self):
         for kind in ("timeout", "crash", "no_incumbent"):
@@ -158,3 +324,10 @@ class TestEnvironmentToken:
         monkeypatch.setenv(faults.ENV_FORCE, "branch_bound")
         tok_both = faults.environment_token()
         assert tok_fault and tok_both and tok_fault != tok_both
+
+    def test_token_covers_solver_mode(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_FAULT, raising=False)
+        monkeypatch.delenv(faults.ENV_FORCE, raising=False)
+        monkeypatch.setenv(faults.ENV_MODE, "race")
+        tok = faults.environment_token()
+        assert tok and "mode=race" in tok

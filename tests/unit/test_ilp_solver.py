@@ -143,3 +143,60 @@ class TestSolutionObject:
         x = m.add_integer_var("x", 0, 1)
         m.set_objective(x)
         assert m.solve().solve_time_s >= 0.0
+
+
+class TestOptionOverrideMerge:
+    """Caller-supplied scalar overrides must merge into ``options``.
+
+    Regression: ``solve(model, mip_gap=..., options=...)`` silently
+    dropped the gap whenever ``options`` was also passed and the time
+    limits happened to agree — the overrides must merge symmetrically.
+    """
+
+    def _captured_options(self, monkeypatch, **solve_kwargs):
+        import repro.ilp.solver as solver_mod
+
+        captured = {}
+
+        def fake_milp(**kwargs):
+            captured.update(kwargs["options"])
+            return _FakeMilpResult(status=0, x=np.array([0.0]))
+
+        monkeypatch.setattr(solver_mod, "milp", fake_milp)
+        m = Model()
+        m.add_integer_var("x", 0, 10)
+        m.set_objective(LinExpr({}, 0.0))
+        solver_mod.solve(m, **solve_kwargs)
+        return captured
+
+    def test_mip_gap_forwarded_alongside_options(self, monkeypatch):
+        from repro.ilp.solver import HighsOptions
+
+        opts = self._captured_options(
+            monkeypatch,
+            mip_gap=0.125,
+            options=HighsOptions(time_limit_s=None, mip_gap=None),
+        )
+        assert opts["mip_rel_gap"] == pytest.approx(0.125)
+
+    def test_time_limit_forwarded_alongside_options(self, monkeypatch):
+        from repro.ilp.solver import HighsOptions
+
+        opts = self._captured_options(
+            monkeypatch,
+            time_limit_s=7.0,
+            options=HighsOptions(mip_gap=0.01),
+        )
+        assert opts["time_limit"] == pytest.approx(7.0)
+        assert opts["mip_rel_gap"] == pytest.approx(0.01)
+
+    def test_options_fields_win_when_no_override_given(self, monkeypatch):
+        from repro.ilp.solver import HighsOptions
+
+        opts = self._captured_options(
+            monkeypatch,
+            options=HighsOptions(time_limit_s=3.0, mip_gap=0.05, presolve=False),
+        )
+        assert opts["time_limit"] == pytest.approx(3.0)
+        assert opts["mip_rel_gap"] == pytest.approx(0.05)
+        assert opts["presolve"] is False

@@ -70,11 +70,13 @@ class TestWorkerResolution:
 
     def test_malformed_env_ignored(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "many")
-        assert resolve_pathgen_workers(PDWConfig()) == 1
+        with pytest.warns(RuntimeWarning, match=WORKERS_ENV):
+            assert resolve_pathgen_workers(PDWConfig()) == 1
 
     def test_non_positive_env_ignored(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "0")
-        assert resolve_pathgen_workers(PDWConfig()) == 1
+        with pytest.warns(RuntimeWarning, match=WORKERS_ENV):
+            assert resolve_pathgen_workers(PDWConfig()) == 1
 
     def test_negative_config_rejected(self):
         with pytest.raises(WashError):
