@@ -16,7 +16,7 @@ path-only signatures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -34,13 +34,24 @@ def is_simple(path: Sequence[str]) -> bool:
 
 
 class Router:
-    """Shortest-path router over a :class:`~repro.arch.chip.Chip`."""
+    """Shortest-path router over a :class:`~repro.arch.chip.Chip`.
 
-    def __init__(self, chip: Chip):
+    ``base_avoid`` bans a node set from *every* query this router issues
+    (degraded-chip routing threads the dead-node set here).  Unlike the
+    per-query ``avoid`` argument, the base set is folded into one shared
+    frozenset up front, so the no-``avoid`` fast path below — and with it
+    the kernel's LRU hit rate — survives arbitrarily large dead sets.
+    """
+
+    def __init__(self, chip: Chip, base_avoid: Optional[Iterable[str]] = None):
         self.chip = chip
         self.kernel: PathKernel = kernel_for(chip)
         #: Ports are never transited: fluid would leave the chip there.
         self._port_ban = frozenset(chip.flow_ports) | frozenset(chip.waste_ports)
+        #: The every-query ban set: ports plus the router-level avoid set.
+        self._base_ban = (
+            self._port_ban | frozenset(base_avoid) if base_avoid else self._port_ban
+        )
 
     # -- basic shortest paths ------------------------------------------------
 
@@ -49,11 +60,17 @@ class Router:
 
         Ports other than the endpoints are always banned: a flow cannot
         transit an inlet or outlet — fluid would leave the chip there.
+        The no-``avoid`` case returns the shared base frozenset itself
+        (no union, no copy): the kernel's LRU keys on this set, and an
+        identity-stable frozenset hashes once ever, so repeated queries
+        stay cache hits instead of rebuilding an equal-but-new set.
         """
         if not avoid:
-            banned = self._port_ban
-        else:
-            banned = self._port_ban | frozenset(avoid)
+            for endpoint in keep:
+                if endpoint in self._base_ban:
+                    return self._base_ban - frozenset(keep)
+            return self._base_ban
+        banned = self._base_ban | frozenset(avoid)
         if banned & frozenset(keep):
             banned = banned - frozenset(keep)
         return banned
@@ -316,6 +333,7 @@ class Router:
         self,
         targets: Sequence[str],
         max_candidates: int = 8,
+        avoid: Optional[Iterable[str]] = None,
     ) -> List[FlowPath]:
         """Candidate wash paths: every (flow port, waste port) pair routed
         through ``targets``, shortest first, truncated to ``max_candidates``.
@@ -323,20 +341,24 @@ class Router:
         This is the candidate pool PDW's path-selection ILP chooses from.
         """
         return [
-            path for path, _ in self.port_to_port_candidates_mm(targets, max_candidates)
+            path
+            for path, _ in self.port_to_port_candidates_mm(
+                targets, max_candidates, avoid
+            )
         ]
 
     def port_to_port_candidates_mm(
         self,
         targets: Sequence[str],
         max_candidates: int = 8,
+        avoid: Optional[Iterable[str]] = None,
     ) -> List[RoutedPath]:
         """Like :meth:`port_to_port_candidates`, each path with its length."""
         candidates: List[Tuple[float, FlowPath]] = []
         for fp in self.chip.flow_ports:
             for wp in self.chip.waste_ports:
                 try:
-                    path, length = self.path_through_mm(fp, targets, wp)
+                    path, length = self.path_through_mm(fp, targets, wp, avoid)
                 except RoutingError:
                     continue
                 candidates.append((length, path))

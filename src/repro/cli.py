@@ -3,12 +3,14 @@
 Subcommands::
 
     pdw run <benchmark> [--method pdw|dawo|immediate] [--gantt] [--chip]
-            [--stats] [--no-cache]
+            [--stats] [--no-cache] [--degrade SPEC]
     pdw list
     pdw report {table2,fig4,fig5,ablation,necessity,pareto,timings,
-                failures,trace,all} [benchmark]
+                failures,degrade,trace,all} [benchmark]
     pdw suite [benchmark ...] [--timeout S] [--retries N] [--resume]
               [--max-rss MB] [--sched-workers N]  # supervised / DAG runs
+    pdw suite [benchmark ...] --degrade SPEC[,SPEC...]
+              [--degrade-online [NODE@TICK]]      # degradation matrix
     pdw bench [benchmark ...] [--iterations N] [--quick] [--out FILE]
               [--compare BASELINE.json] [--threshold PCT] [--sched-workers N]
     pdw assay <file.json> [--method ...]     # optimize a user assay
@@ -22,7 +24,8 @@ Exit codes: 0 success; 1 simulation broken / corrupt cache entries found /
 ``pdw bench --compare`` detected a hot-path regression; 2 a
 :class:`~repro.errors.ReproError` (clean one-line message on stderr);
 3 ``pdw suite`` completed but lost at least one benchmark (partial
-success — see ``pdw report failures``).
+success — see ``pdw report failures``), or a degradation matrix had an
+``INFEASIBLE_DEGRADED``/failed cell (see ``pdw report degrade``).
 
 The full reference, including every flag, lives in docs/CLI.md — a unit
 test asserts that document against :func:`build_parser`'s argparse tree,
@@ -68,6 +71,19 @@ def _print_plan(plan, show_gantt: bool, show_chip: bool, show_stats: bool = Fals
             f"  {wash.id}: [{wash.start}, {wash.end}) s  "
             f"path {' -> '.join(wash.path)}"
         )
+    info = getattr(plan, "degradation", None)
+    if info is not None:
+        print(
+            f"degradation: {info.spec}  dead={len(info.dead)} "
+            f"coverage={100.0 * info.coverage:.0f}%"
+        )
+        if info.uncovered_targets:
+            print(f"  uncovered: {', '.join(info.uncovered_targets)}")
+    for record in getattr(plan, "repairs", ()) or ():
+        print(
+            f"repair r{record.round}: {record.node}@{record.fail_time} hit "
+            f"{record.detected_task} {list(record.window)} -> {record.outcome}"
+        )
     if show_stats and plan.report is not None:
         print()
         print(plan.report.render())
@@ -110,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--no-cache", action="store_true", help="bypass the on-disk artifact cache"
     )
+    p_run.add_argument(
+        "--degrade", default="", metavar="SPEC",
+        help="plan on a degraded chip: light|moderate|heavy or "
+        "channels=N[:valves=N][:devices=N][:seed=N][:dead=n1+n2] (PDW only)",
+    )
 
     p_assay = sub.add_parser("assay", help="optimize an assay from a JSON file")
     p_assay.add_argument("file", type=Path)
@@ -129,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=(
             "table2", "fig4", "fig5", "ablation", "necessity", "pareto",
-            "timings", "failures", "trace", "all",
+            "timings", "failures", "degrade", "trace", "all",
         ),
     )
     p_report.add_argument(
@@ -181,6 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--sched-workers", type=int, default=None, metavar="N",
         help="run the suite as a stage DAG on N scheduler workers "
         "(node-granular retries/resume; plans stay byte-identical to serial)",
+    )
+    p_suite.add_argument(
+        "--degrade", default="", metavar="SPEC",
+        help="run the degradation matrix instead of the supervised suite: "
+        "comma-separated scenarios (light|moderate|heavy or key=value specs)",
+    )
+    p_suite.add_argument(
+        "--degrade-online", nargs="?", const="auto", default=None,
+        metavar="NODE@TICK",
+        help="additionally inject a mid-execution channel failure per cell "
+        "and run the detect→replan repair loop ('auto' picks one "
+        "deterministically)",
     )
     p_suite.add_argument("--no-cache", action="store_true")
 
@@ -295,6 +328,11 @@ def _dispatch(args: argparse.Namespace) -> int:
 
             print(failures_report())
             return 0
+        if args.name == "degrade":
+            from repro.degrade.report import degrade_report
+
+            print(degrade_report())
+            return 0
         if args.name == "trace":
             return _run_report_trace(args)
         return experiments_main([args.name, "--time-limit", str(args.time_limit)])
@@ -310,10 +348,17 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _run_cache(args.action, getattr(args, "max_bytes", None))
 
+    degrade = getattr(args, "degrade", "")
+    if degrade and args.method != "pdw":
+        raise ReproError(
+            "--degrade is a PDW capability; the baselines have no "
+            "avoid-set routing (use --method pdw)"
+        )
     config = PDWConfig(
         time_limit_s=args.time_limit,
         solver=getattr(args, "solver", "auto"),
         solver_mode=getattr(args, "solver_mode", "ladder"),
+        degrade=degrade,
     )
 
     if args.command == "cost":
@@ -357,6 +402,8 @@ def _run_suite_cmd(args: argparse.Namespace) -> int:
         retries=max(0, args.retries),
     )
     cache = None if args.no_cache else default_cache()
+    if args.degrade or args.degrade_online is not None:
+        return _run_degrade_matrix_cmd(args, config, cache)
     if args.sched_workers is not None:
         from repro.sched.executor import DagExecutor
 
@@ -400,6 +447,23 @@ def _run_suite_cmd(args: argparse.Namespace) -> int:
     if result.metrics_path is not None:
         print(f"merged metrics dump: {result.metrics_path}")
     return 0 if not result.failures else 3
+
+
+def _run_degrade_matrix_cmd(args: argparse.Namespace, config, cache) -> int:
+    """``pdw suite --degrade``: the benchmark × scenario robustness matrix."""
+    from repro.degrade.suite import run_degrade_matrix
+
+    result = run_degrade_matrix(
+        names=args.benchmarks or None,
+        scenarios=args.degrade,
+        config=config,
+        cache=cache,
+        online=args.degrade_online,
+    )
+    print(result.render())
+    ok = sum(1 for row in result.rows if row.ok)
+    print(f"{ok}/{len(result.rows)} cells succeeded; journal: {result.journal_path}")
+    return 0 if result.ok else 3
 
 
 def _run_report_trace(args: argparse.Namespace) -> int:

@@ -75,6 +75,14 @@ class PDWConfig:
         environment variable, falling back to serial; results are merged
         in cluster order, so every worker count produces the identical
         candidate pools (see docs/PERFORMANCE.md).
+    degrade:
+        Chip-degradation scenario (DESIGN.md §14): a preset
+        (``light`` / ``moderate`` / ``heavy``) or a
+        ``channels=N:valves=N:devices=N:seed=N:dead=n1+n2`` spec.  Empty
+        (default) means a pristine chip.  The spec's canonical token is
+        folded into every downstream cache key (clusters, pathgen, ILP,
+        warm-start structure digest), so degraded artifacts never collide
+        with healthy ones.
     """
 
     alpha: float = 0.3
@@ -92,6 +100,7 @@ class PDWConfig:
     solver: str = "auto"
     solver_mode: str = "ladder"
     pathgen_workers: int = 0
+    degrade: str = ""
 
     def __post_init__(self) -> None:
         if min(self.alpha, self.beta, self.gamma) < 0:
@@ -112,6 +121,16 @@ class PDWConfig:
             raise WashError(f"unknown solver mode {self.solver_mode!r}")
         if self.pathgen_workers < 0:
             raise WashError("pathgen workers must be >= 0 (0 = env/serial)")
+        if self.degrade:
+            # Normalize eagerly: the canonical token is what every cache
+            # key sees, so equal scenarios written differently (preset vs
+            # expanded, reordered fields) share artifacts.  Deferred
+            # import: repro.degrade.model has no core dependencies, but
+            # importing it at module level would still cycle through
+            # repro.arch during interpreter start-up of some entrypoints.
+            from repro.degrade.model import parse_spec
+
+            object.__setattr__(self, "degrade", parse_spec(self.degrade).token())
 
 
 #: The exact parameterization used in the paper's experiments.

@@ -50,6 +50,7 @@ def candidate_paths(
     targets: Sequence[str],
     max_candidates: int = 6,
     stats: Optional[Dict[str, int]] = None,
+    avoid: Optional[Sequence[str]] = None,
 ) -> List[FlowPath]:
     """Candidate wash paths covering ``targets``, shortest first.
 
@@ -60,10 +61,14 @@ def candidate_paths(
     counters — ``avoid_relaxed`` (detour constraint dropped) and
     ``unroutable_pairs`` (port pair skipped entirely) — so silently
     discarded routes stay visible in the pipeline report.
+
+    ``avoid`` is a *hard* ban (degraded-chip dead nodes): it is installed
+    as the router's base avoid set, so unlike the foreign-device detour
+    constraint it is never relaxed when routing gets tight.
     """
     if not targets:
         raise WashError("a wash path needs at least one target")
-    router = Router(chip)
+    router = Router(chip, base_avoid=avoid)
     foreign_devices: Set[str] = set(chip.devices) - set(targets)
 
     scored: List[Tuple[float, FlowPath]] = []
@@ -127,6 +132,7 @@ def integration_candidates(
     removal_paths: Sequence[FlowPath],
     max_extra: int = 3,
     stats: Optional[Dict[str, int]] = None,
+    avoid: Optional[Sequence[str]] = None,
 ) -> List[FlowPath]:
     """Candidates that additionally cover an excess-removal path.
 
@@ -137,10 +143,15 @@ def integration_candidates(
     port pair — giving the scheduling ILP candidates for which the
     containment test actually holds.
     """
-    router = Router(chip)
+    router = Router(chip, base_avoid=avoid)
     foreign_devices: Set[str] = set(chip.devices) - set(targets)
+    dead = set(avoid or ())
     out: List[FlowPath] = []
     for rm_path in removal_paths:
+        if dead & set(rm_path):
+            # The removal itself crosses a dead node: it can no longer
+            # run, so integrating a wash with it is meaningless.
+            continue
         interior = [n for n in rm_path if not chip.is_port(n)]
         union = sorted(set(targets) | set(interior))
         routed = _route(router, rm_path[0], union, rm_path[-1], foreign_devices, stats)

@@ -112,8 +112,9 @@ class PathDriverWash:
         plan.report = run.report
         plan.notes.update(run.report.flat())
         if verify:
-            verify_plan(plan)
-            validate_plan(plan, self.synthesis)
+            degradation = getattr(plan, "degradation", None)
+            verify_plan(plan, degradation=degradation)
+            validate_plan(plan, self.synthesis, degradation=degradation)
         return plan
 
 
@@ -174,12 +175,22 @@ def no_wash_plan(ctx: PDWContext) -> WashPlan:
     )
 
 
-def verify_plan(plan: WashPlan) -> None:
-    """Raise :class:`WashError` unless the plan is conflict- and residue-free."""
+def verify_plan(plan: WashPlan, degradation=None) -> None:
+    """Raise :class:`WashError` unless the plan is conflict- and residue-free.
+
+    ``degradation`` (a :class:`~repro.degrade.model.DegradationInfo`)
+    waives residue violations at the plan's *reported-uncovered* wash
+    targets — a degraded chip may be physically unable to wash those
+    nodes, and silently tolerating them anywhere else would hide real
+    bugs.  Conflicts are never waived.
+    """
     conflicts = plan.schedule.conflicts()
     if conflicts:
         raise WashError(f"{plan.method} plan has resource conflicts: {conflicts[:5]}")
     violations = contamination_violations(plan.chip, plan.schedule)
+    if degradation is not None and violations:
+        uncovered = frozenset(degradation.uncovered_targets)
+        violations = [v for v in violations if v.node not in uncovered]
     if violations:
         raise WashError(
             f"{plan.method} plan leaves cross-contamination: "

@@ -51,6 +51,14 @@ class WashPlan:
     notes: Dict[str, float] = field(default_factory=dict)
     #: Per-stage instrumentation of the pipeline that built this plan.
     report: Optional[RunReport] = None
+    #: Degradation summary (:class:`~repro.degrade.model.DegradationInfo`)
+    #: when the plan was built against a degraded chip; ``None`` on a
+    #: pristine chip.  Loose typing keeps :mod:`repro.core.plan` free of a
+    #: :mod:`repro.degrade` import.
+    degradation: Optional[object] = None
+    #: Online repair history (:class:`~repro.degrade.repair.RepairRecord`
+    #: tuples) when this plan is the product of a detect→replan loop.
+    repairs: Tuple = ()
 
     # -- Table II metrics ---------------------------------------------------------
 

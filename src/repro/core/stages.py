@@ -24,9 +24,10 @@ alone, so whichever runs first populates the artifact the other reuses.
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.arch.pathkernel import kernel_for
 from repro.contam import ContaminationTracker, wash_requirements
@@ -42,6 +43,8 @@ from repro.core.pathgen import (
 from repro.obs import metrics
 from repro.core.plan import WashOperation, WashPlan
 from repro.core.schedule_ilp import IlpWashOutcome, WashScheduleIlp
+from repro.degrade.model import Degradation, derive, info_from, parse_spec
+from repro.ilp.solution import SolveStatus
 from repro.core.targets import WashCluster, cluster_requirements
 from repro.errors import LadderExhausted, WashError
 from repro.ilp import SolverPortfolio, faults
@@ -67,6 +70,8 @@ class PDWContext:
     candidates: Dict[str, List] = field(default_factory=dict)
     outcome: Optional[IlpWashOutcome] = None
     plan: Optional[WashPlan] = None
+    #: Resolved chip degradation (derived lazily from ``config.degrade``).
+    degradation: Optional[Degradation] = None
     _synthesis_digest: Optional[str] = None
 
     @property
@@ -75,6 +80,24 @@ class PDWContext:
         if self._synthesis_digest is None:
             self._synthesis_digest = digest_synthesis(self.synthesis)
         return self._synthesis_digest
+
+    @property
+    def dead_nodes(self) -> FrozenSet[str]:
+        """The degraded chip's dead-node set (empty on a healthy chip).
+
+        Derives the :class:`~repro.degrade.model.Degradation` on first
+        access when ``config.degrade`` is set; the same resolved set then
+        threads through clustering, candidate generation and assembly.
+        """
+        if not self.config.degrade:
+            return frozenset()
+        if self.degradation is None:
+            self.degradation = derive(
+                self.synthesis.chip,
+                self.synthesis.schedule,
+                parse_spec(self.config.degrade),
+            )
+        return self.degradation.dead
 
 
 # ---------------------------------------------------------------------------
@@ -132,10 +155,17 @@ class NecessityStage(StageBase):
 
 
 class ClusterStage(StageBase):
-    """Group the required washes into wash clusters (Section II-C)."""
+    """Group the required washes into wash clusters (Section II-C).
+
+    On a degraded chip, requirements sitting *on* a dead node are
+    unwashable by definition — they are dropped here and resurface as
+    reported uncovered targets on the assembled plan, never as a crash.
+    The surviving clusters are merged with the dead set as a routing
+    avoid-set so merge feasibility reflects the degraded chip.
+    """
 
     name = "clusters"
-    version = "1"
+    version = "2"
     requires = ("necessity",)
     provides = "clusters"
 
@@ -146,14 +176,20 @@ class ClusterStage(StageBase):
             cfg.necessity.value,
             cfg.merge_clusters,
             cfg.max_wash_path_mm,
+            cfg.degrade,
         )
 
     def compute(self, ctx: PDWContext) -> List[WashCluster]:
+        dead = ctx.dead_nodes
+        required = ctx.necessity.required
+        if dead:
+            required = [r for r in required if r.node not in dead]
         return cluster_requirements(
             ctx.synthesis.chip,
-            ctx.necessity.required,
+            required,
             merge=ctx.config.merge_clusters,
             max_path_mm=ctx.config.max_wash_path_mm,
+            avoid=dead or None,
         )
 
     def counters(self, clusters: List[WashCluster]) -> Dict[str, float]:
@@ -195,7 +231,7 @@ class PathGenStage(StageBase):
     """
 
     name = "pathgen"
-    version = "3"
+    version = "4"
     requires = ("clusters",)
     provides = "candidates"
 
@@ -210,23 +246,61 @@ class PathGenStage(StageBase):
             cfg.path_mode,
             cfg.enable_integration,
             cfg.integration_window_s,
+            cfg.degrade,
         )
 
     def compute(self, ctx: PDWContext) -> PathgenResult:
         chip = ctx.synthesis.chip
         config = ctx.config
+        dead = ctx.dead_nodes
         removals = ctx.synthesis.schedule.tasks(TaskKind.REMOVAL)
         window = config.integration_window_s
         workers = resolve_pathgen_workers(config)
         kernel = kernel_for(chip)
         hits_before, misses_before = kernel.cache_hits, kernel.cache_misses
 
+        def base_pool(cluster, stats: Dict[str, int]) -> List:
+            """The cluster's covering paths, degradation-aware.
+
+            Degraded runs still try the *healthy* pool first: most
+            clusters route nowhere near the dead nodes, so their pools —
+            and the shared path-kernel cache entries behind them — are
+            reused verbatim, and only the affected clusters pay for an
+            avoid-set regeneration.  A cluster no degraded route can
+            cover keeps an **empty** pool (counted as
+            ``uncovered_clusters``) rather than failing the stage; the
+            ILP stage drops it and the plan reports the coverage gap.
+            """
+            try:
+                pool = candidate_paths(
+                    chip, sorted(cluster.targets), config.max_candidates, stats=stats
+                )
+            except WashError:
+                if not dead:
+                    raise  # healthy chips keep the loud failure mode
+                pool = []
+            if not dead:
+                return pool
+            if pool and not any(dead & set(p) for p in pool):
+                return pool
+            try:
+                return candidate_paths(
+                    chip,
+                    sorted(cluster.targets),
+                    config.max_candidates,
+                    stats=stats,
+                    avoid=dead,
+                )
+            except WashError:
+                stats["uncovered_clusters"] = stats.get("uncovered_clusters", 0) + 1
+                return []
+
         def one_cluster(cluster) -> Tuple[List, Dict[str, int]]:
             stats: Dict[str, int] = {}
-            pool = candidate_paths(
-                chip, sorted(cluster.targets), config.max_candidates, stats=stats
-            )
+            pool = base_pool(cluster, stats)
             seen: Set[Tuple[str, ...]] = {tuple(p) for p in pool}
+            if not pool:
+                return pool, stats
             if config.enable_integration:
                 nearby = [
                     rm.path
@@ -235,7 +309,11 @@ class PathGenStage(StageBase):
                     and rm.end >= cluster.release - window
                 ]
                 for cand in integration_candidates(
-                    chip, sorted(cluster.targets), nearby, stats=stats
+                    chip,
+                    sorted(cluster.targets),
+                    nearby,
+                    stats=stats,
+                    avoid=dead or None,
                 ):
                     if tuple(cand) not in seen:
                         pool.append(cand)
@@ -243,7 +321,11 @@ class PathGenStage(StageBase):
             if config.path_mode == "exact":
                 try:
                     exact = exact_wash_path(chip, sorted(cluster.targets))
-                    if tuple(exact) not in seen:
+                    if dead & set(exact):
+                        # The cell ILP knows nothing of dead nodes; a
+                        # crossing exact path is unusable on this chip.
+                        stats["exact_fallbacks"] = stats.get("exact_fallbacks", 0) + 1
+                    elif tuple(exact) not in seen:
                         pool.insert(0, exact)
                         seen.add(tuple(exact))
                 except WashError:
@@ -327,7 +409,7 @@ class ScheduleIlpStage(StageBase):
     """
 
     name = "ilp"
-    version = "4"
+    version = "5"
     requires = ("clusters", "candidates")
     provides = "outcome"
 
@@ -338,6 +420,16 @@ class ScheduleIlpStage(StageBase):
         return (ctx.synthesis_digest, ctx.config, faults.environment_token())
 
     def compute(self, ctx: PDWContext) -> IlpWashOutcome:
+        # Clusters whose degraded candidate pool came up empty cannot be
+        # modeled (the ILP demands a candidate per cluster); they are
+        # dropped here and resurface as the plan's uncovered targets.
+        covered = [c for c in ctx.clusters if ctx.candidates.get(c.id)]
+        if not covered:
+            return self._empty_outcome(ctx)
+        solve_ctx = ctx
+        if len(covered) != len(ctx.clusters):
+            solve_ctx = dataclasses.replace(ctx, clusters=covered)
+
         structure = incremental.structure_digest(ctx.synthesis_digest, ctx.config)
         ilp = _MODEL_MEMO.checkout(structure)
         reused = ilp is not None
@@ -348,7 +440,7 @@ class ScheduleIlpStage(StageBase):
             ilp = WashScheduleIlp(
                 ctx.synthesis.chip,
                 ctx.synthesis.schedule,
-                ctx.clusters,
+                solve_ctx.clusters,
                 ctx.candidates,
                 ctx.config,
             )
@@ -356,6 +448,18 @@ class ScheduleIlpStage(StageBase):
             ilp.ensure_built()
             cache = ctx.cache
             payload = incremental.load_incumbent(cache, structure)
+            if payload is None and ctx.config.degrade:
+                # Degraded re-solves (the online repair loop above all)
+                # warm-start from the *healthy* twin's winning assignment
+                # when no degraded incumbent exists yet: most variables
+                # survive the delta, and ``adopt_incumbent`` vets the
+                # assignment against the degraded constraints, so a
+                # stale/incompatible incumbent degrades to a cold solve.
+                healthy = incremental.structure_digest(
+                    ctx.synthesis_digest,
+                    dataclasses.replace(ctx.config, degrade=""),
+                )
+                payload = incremental.load_incumbent(cache, healthy)
             if payload is None:
                 incremental.observe("miss")
                 incumbent = None
@@ -365,13 +469,33 @@ class ScheduleIlpStage(StageBase):
             try:
                 outcome = ilp.solve(portfolio)
             except LadderExhausted as exc:
-                return greedy_outcome(ctx, exc.attempts)
+                return greedy_outcome(solve_ctx, exc.attempts)
             outcome.model_reused = reused
             if ilp.last_solution is not None:
                 incremental.store_incumbent(cache, structure, ilp.last_solution, ctx.config)
             return outcome
         finally:
             _MODEL_MEMO.checkin(structure, ilp)
+
+    @staticmethod
+    def _empty_outcome(ctx: PDWContext) -> IlpWashOutcome:
+        """Outcome for a degraded run where no cluster is coverable.
+
+        The baseline schedule is kept verbatim (it never touches dead
+        nodes by construction); every required target becomes a reported
+        coverage gap at assembly.
+        """
+        return IlpWashOutcome(
+            status=SolveStatus.FEASIBLE,
+            objective=0.0,
+            solve_time_s=0.0,
+            starts={t.id: t.start for t in ctx.synthesis.schedule.tasks()},
+            wash_starts={},
+            wash_paths={},
+            wash_durations={},
+            rung="degraded-skip",
+            model_stats="no coverable clusters on the degraded chip",
+        )
 
     def counters(self, outcome: IlpWashOutcome) -> Dict[str, float]:
         stats = {
@@ -411,7 +535,7 @@ class AssembleStage(StageBase):
     """
 
     name = "assemble"
-    version = "1"
+    version = "2"
     requires = ("outcome", "clusters", "necessity")
     provides = "plan"
 
@@ -428,7 +552,11 @@ class AssembleStage(StageBase):
             schedule.add(task.at(outcome.starts[task.id]))
 
         washes: List[WashOperation] = []
+        # Clusters absent from the outcome were dropped as uncoverable on
+        # a degraded chip; they become reported coverage gaps below.
         for cluster in ctx.clusters:
+            if cluster.id not in outcome.wash_paths:
+                continue
             path = outcome.wash_paths[cluster.id]
             start = outcome.wash_starts[cluster.id]
             duration = outcome.wash_durations[cluster.id]
@@ -453,6 +581,25 @@ class AssembleStage(StageBase):
             )
 
         report = ctx.necessity
+        notes = {
+            "ilp_objective": outcome.objective,
+            "necessity_events": float(report.total_events),
+            "type1_exempt": float(report.type1_exempt),
+            "type2_exempt": float(report.type2_exempt),
+            "type3_exempt": float(report.type3_exempt),
+            "requirements": float(len(report.required)),
+        }
+
+        degradation_info = None
+        if ctx.config.degrade:
+            ctx.dead_nodes  # force the lazy derive (may sample nothing)
+            required = {r.node for r in report.required}
+            washed = {t for w in washes for t in w.targets}
+            uncovered = required - washed
+            degradation_info = info_from(ctx.degradation, uncovered, len(required))
+            notes["uncovered_targets"] = float(len(uncovered))
+            notes["coverage"] = round(degradation_info.coverage, 4)
+
         return WashPlan(
             method="PDW",
             chip=ctx.synthesis.chip,
@@ -462,14 +609,8 @@ class AssembleStage(StageBase):
             solver_status=outcome.status.value,
             solver_rung=outcome.rung,
             solve_time_s=outcome.solve_time_s,
-            notes={
-                "ilp_objective": outcome.objective,
-                "necessity_events": float(report.total_events),
-                "type1_exempt": float(report.type1_exempt),
-                "type2_exempt": float(report.type2_exempt),
-                "type3_exempt": float(report.type3_exempt),
-                "requirements": float(len(report.required)),
-            },
+            notes=notes,
+            degradation=degradation_info,
         )
 
     def counters(self, plan: WashPlan) -> Dict[str, float]:

@@ -82,16 +82,17 @@ def cluster_requirements(
     requirements: Sequence[WashRequirement],
     merge: bool = True,
     max_path_mm: float = float("inf"),
+    avoid: Optional[Sequence[str]] = None,
 ) -> List[WashCluster]:
     """Group ``requirements`` into wash clusters.
 
     Requirements are first grouped by contaminating task; clusters are then
     greedily merged (earliest deadline first) while a merge remains
     port-to-port coverable, shortens the total wash-path length, and keeps
-    the merged path within ``max_path_mm``.
+    the merged path within ``max_path_mm``.  ``avoid`` (degraded-chip dead
+    nodes) constrains every coverability probe, so a merge is never
+    justified by a path that routes through a failed channel.
     """
-    router = Router(chip)
-
     by_source: Dict[Tuple[str, ...], List[WashRequirement]] = {}
     for req in requirements:
         by_source.setdefault((req.source_task,), []).append(req)
@@ -104,13 +105,16 @@ def cluster_requirements(
     ]
     if not merge or len(clusters) < 2:
         return clusters
-    return _merged_clusters(chip, clusters, max_path_mm)
+    return _merged_clusters(chip, clusters, max_path_mm, avoid)
 
 
 def _merged_clusters(
-    chip: Chip, clusters: List[WashCluster], max_path_mm: float
+    chip: Chip,
+    clusters: List[WashCluster],
+    max_path_mm: float,
+    avoid: Optional[Sequence[str]] = None,
 ) -> List[WashCluster]:
-    router = Router(chip)
+    router = Router(chip, base_avoid=avoid)
 
     # Greedy pairwise merging, cheapest-deadline first.
     clusters.sort(key=lambda c: (c.deadline, c.id))
@@ -122,7 +126,7 @@ def _merged_clusters(
             chip.path_length_mm(paths[cluster.id]) if paths[cluster.id] else float("inf")
         )
 
-    return _merge_pass(chip, clusters, paths, lengths, max_path_mm)
+    return _merge_pass(chip, clusters, paths, lengths, max_path_mm, router)
 
 
 def merge_by_blocker(
@@ -166,9 +170,11 @@ def _merge_pass(
     paths: Dict[str, Optional[FlowPath]],
     lengths: Dict[str, float],
     max_path_mm: float = float("inf"),
+    router: Optional[Router] = None,
 ) -> List[WashCluster]:
     """Greedy pairwise merging while it shortens the total path length."""
-    router = Router(chip)
+    if router is None:
+        router = Router(chip)
     merged = True
     while merged:
         merged = False

@@ -1,0 +1,41 @@
+"""Fault-adaptive washing on degraded chips.
+
+Two modes (DESIGN.md §14):
+
+* **static** — :mod:`repro.degrade.model` deterministically samples dead
+  channels / stuck valves / failed devices per chip, and
+  :mod:`repro.degrade.suite` runs the benchmark × scenario matrix that
+  ``pdw suite --degrade`` exposes;
+* **online** — :mod:`repro.degrade.repair` injects a channel failure
+  mid-execution, detects the first violated interval with the
+  :class:`~repro.sim.executor.ScheduleExecutor` monitor and replans
+  around the dead node until the plan validates or is proven infeasible.
+
+Only the model symbols are re-exported here: the repair/suite modules
+import :mod:`repro.core`, which itself imports this package's model —
+re-exporting them from ``__init__`` would create an import cycle.
+"""
+
+from repro.degrade.model import (
+    KINDS,
+    PRESETS,
+    Degradation,
+    DegradationInfo,
+    DegradationSpec,
+    derive,
+    info_from,
+    parse_matrix,
+    parse_spec,
+)
+
+__all__ = [
+    "KINDS",
+    "PRESETS",
+    "Degradation",
+    "DegradationInfo",
+    "DegradationSpec",
+    "derive",
+    "info_from",
+    "parse_matrix",
+    "parse_spec",
+]

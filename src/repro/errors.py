@@ -82,5 +82,22 @@ class WashError(ReproError):
     """Wash optimization failed (no feasible wash path, deadline violated...)."""
 
 
+class DegradationError(WashError):
+    """A chip-degradation spec is malformed or names unknown nodes."""
+
+
+class DegradedInfeasibleError(WashError):
+    """Wash planning is impossible on the degraded chip.
+
+    Raised (and classified as ``infeasible_degraded`` by the suite
+    layers) when a degradation leaves no repairable plan — e.g. a failed
+    channel sits on a baseline transport that cannot be rerouted, or the
+    scheduling ILP is proven infeasible under the degraded candidate
+    pools.  Distinct from :class:`DegradationError` (a bad *spec*) and
+    from a partial-coverage plan (which is still produced, just reported
+    as ``DEGRADED``).
+    """
+
+
 class BenchmarkError(ReproError):
     """Unknown benchmark name or malformed benchmark definition."""

@@ -44,7 +44,7 @@ from repro.core import PDWConfig, optimize_washes
 from repro.core.plan import WashPlan
 from repro.core.stages import REPLAY_STAGE, PDWContext
 from repro.envutil import env_int
-from repro.errors import ReproError
+from repro.errors import DegradedInfeasibleError, ReproError
 from repro.ilp import faults
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -103,7 +103,13 @@ class BenchmarkRun:
 
 
 #: Failure kinds recorded by the suite layers, in rough severity order.
-FAILURE_KINDS = ("timeout", "crash", "oom", "error")
+#: ``infeasible_degraded`` is a *taxonomy* outcome, not an execution
+#: failure: wash planning was proven impossible on a degraded chip.
+FAILURE_KINDS = ("timeout", "crash", "oom", "error", "infeasible_degraded")
+
+#: Kinds rendered under their own suite-taxonomy label instead of the
+#: generic ``FAILED(kind)`` cell.
+_TAXONOMY_LABELS = {"infeasible_degraded": "INFEASIBLE_DEGRADED"}
 
 
 @dataclass
@@ -112,8 +118,10 @@ class FailureRecord:
 
     ``kind`` is one of :data:`FAILURE_KINDS`: ``timeout`` (wall-clock
     budget exceeded), ``crash`` (worker died or raised unexpectedly),
-    ``oom`` (memory cap hit) or ``error`` (a deterministic
-    :class:`~repro.errors.ReproError`).
+    ``oom`` (memory cap hit), ``error`` (a deterministic
+    :class:`~repro.errors.ReproError`) or ``infeasible_degraded``
+    (washing proven impossible on a degraded chip — reported, by
+    design, rather than raised).
     """
 
     name: str
@@ -124,8 +132,8 @@ class FailureRecord:
 
     @property
     def label(self) -> str:
-        """The ``FAILED(kind)`` cell the reports render."""
-        return f"FAILED({self.kind})"
+        """The ``FAILED(kind)`` (or taxonomy) cell the reports render."""
+        return _TAXONOMY_LABELS.get(self.kind, f"FAILED({self.kind})")
 
 
 SuiteEntry = Union[BenchmarkRun, FailureRecord]
@@ -331,6 +339,13 @@ def _run_benchmark_task(args: tuple) -> SuiteEntry:
     except chaos.InjectedFault as exc:
         return FailureRecord(
             name, "crash", str(exc), wall_time_s=time.perf_counter() - started
+        )
+    except DegradedInfeasibleError as exc:
+        return FailureRecord(
+            name,
+            "infeasible_degraded",
+            str(exc),
+            wall_time_s=time.perf_counter() - started,
         )
     except ReproError as exc:
         return FailureRecord(

@@ -43,7 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import PDWConfig
-from repro.errors import ReproError
+from repro.errors import DegradedInfeasibleError, ReproError
 from repro.experiments.reporting import render_table
 from repro.experiments.runner import (
     BenchmarkRun,
@@ -134,6 +134,10 @@ def _child_entry(conn, name, config, use_cache, cache, max_rss_bytes) -> None:
         )
     except chaos.InjectedFault as exc:
         _safe_send(conn, ("fail", "crash", str(exc), obs_metrics.snapshot()))
+    except DegradedInfeasibleError as exc:
+        _safe_send(
+            conn, ("fail", "infeasible_degraded", str(exc), obs_metrics.snapshot())
+        )
     except ReproError as exc:
         _safe_send(conn, ("fail", "error", str(exc), obs_metrics.snapshot()))
     except BaseException as exc:  # noqa: BLE001 — a worker must always report
@@ -526,8 +530,8 @@ def failures_report(journal_path: Optional[Path] = None) -> str:
             float(record.get("ts", 0.0)), tz=timezone.utc
         ).strftime("%Y-%m-%d %H:%M:%S")
         message = str(record.get("message", ""))
-        if len(message) > 60:
-            message = message[:57] + "..."
+        if len(message) > 100:
+            message = message[:97] + "..."
         rows.append(
             [
                 when, name, str(event), str(record.get("kind", "-")),

@@ -43,6 +43,12 @@ def plan_to_dict(plan: WashPlan) -> Dict[str, Any]:
             for wash in plan.washes
         ],
     }
+    degradation = getattr(plan, "degradation", None)
+    if degradation is not None:
+        out["degradation"] = degradation.as_dict()
+    repairs = getattr(plan, "repairs", ()) or ()
+    if repairs:
+        out["repairs"] = [record.as_dict() for record in repairs]
     if plan.report is not None:
         out["pipeline"] = plan.report.as_dict()
     return out
@@ -66,6 +72,9 @@ def canonical_plan_dict(plan: WashPlan) -> Dict[str, Any]:
     out = plan_to_dict(plan)
     out.pop("pipeline", None)
     out.pop("solve_time_s", None)
+    # Repair rounds carry wall-clock latencies; the decisions stay.
+    for record in out.get("repairs", ()):
+        record.pop("wall_s", None)
     return out
 
 

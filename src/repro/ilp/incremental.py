@@ -76,6 +76,9 @@ def structure_key(synthesis_digest: str, config: Any) -> Tuple:
         getattr(config, "path_mode", ""),
         getattr(config, "enable_integration", True),
         getattr(config, "integration_window_s", 0.0),
+        # The degradation token reshapes clusters and candidate pools, so
+        # repaired/degraded incumbents never collide with healthy ones.
+        getattr(config, "degrade", ""),
         faults.environment_token(),
     )
 

@@ -488,8 +488,9 @@ class DagExecutor:
         elif key == ("pdw", "assemble"):
             artifact.report = run.report
             artifact.notes.update(run.report.flat())
-            verify_plan(artifact)
-            validate_plan(artifact, ctx.synthesis)
+            degradation = getattr(artifact, "degradation", None)
+            verify_plan(artifact, degradation=degradation)
+            validate_plan(artifact, ctx.synthesis, degradation=degradation)
             bench.pdw_plan = artifact
         elif key == ("dawo", "sweepline"):
             artifact.notes["necessity_events"] = float(ctx.necessity.total_events)

@@ -14,7 +14,13 @@ product out of a device before the producing operation ran.
 
 from repro.sim.events import SimEvent, SimEventKind, SimReport
 from repro.sim.executor import ScheduleExecutor, simulate_plan
-from repro.sim.validate import PlanValidationError, validate_plan, validation_problems
+from repro.sim.validate import (
+    PlanValidationError,
+    ValidationProblem,
+    degraded_validation_problems,
+    validate_plan,
+    validation_problems,
+)
 
 __all__ = [
     "PlanValidationError",
@@ -22,6 +28,8 @@ __all__ = [
     "SimEvent",
     "SimEventKind",
     "SimReport",
+    "ValidationProblem",
+    "degraded_validation_problems",
     "simulate_plan",
     "validate_plan",
     "validation_problems",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 
 class SimEventKind(enum.Enum):
@@ -23,6 +23,7 @@ class SimEventKind(enum.Enum):
     CROSS_CONTAMINATION = "cross_contamination"
     WRONG_PORT = "wrong_port"                # injection from an unassigned port
     LEFTOVER_CONTENT = "leftover_content"    # device still loaded at the end
+    DEAD_NODE_TRAVERSED = "dead_node_traversed"  # task occupies a failed node
 
     @property
     def is_anomaly(self) -> bool:
@@ -33,17 +34,24 @@ class SimEventKind(enum.Enum):
             SimEventKind.CROSS_CONTAMINATION,
             SimEventKind.WRONG_PORT,
             SimEventKind.LEFTOVER_CONTENT,
+            SimEventKind.DEAD_NODE_TRAVERSED,
         )
 
 
 @dataclass(frozen=True)
 class SimEvent:
-    """One simulation event."""
+    """One simulation event.
+
+    ``node`` is populated where the anomaly is localized to one chip node
+    (contamination site, failed channel, affected device) — the online
+    degradation monitor and the structured validation problems key on it.
+    """
 
     kind: SimEventKind
     time: int
     task_id: str
     detail: str = ""
+    node: Optional[str] = None
 
     def __str__(self) -> str:  # pragma: no cover - debug aid
         return f"[t={self.time:>4}] {self.kind.value:<20} {self.task_id} {self.detail}"
@@ -55,9 +63,16 @@ class SimReport:
 
     events: List[SimEvent] = field(default_factory=list)
 
-    def record(self, kind: SimEventKind, time: int, task_id: str, detail: str = "") -> None:
+    def record(
+        self,
+        kind: SimEventKind,
+        time: int,
+        task_id: str,
+        detail: str = "",
+        node: Optional[str] = None,
+    ) -> None:
         """Append one event."""
-        self.events.append(SimEvent(kind, time, task_id, detail))
+        self.events.append(SimEvent(kind, time, task_id, detail, node))
 
     @property
     def anomalies(self) -> List[SimEvent]:

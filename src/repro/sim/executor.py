@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
 
 from repro.assay.fluids import BUFFER_TYPE
 from repro.core.plan import WashPlan
@@ -29,14 +29,27 @@ class ScheduleExecutor:
       sits in the device, with how many consumer shares remain,
     * per-device **input buffer** — which inputs have been delivered for
       the next operation.
+
+    ``dead_nodes`` (node → failure tick) arms the degradation monitor:
+    any task still occupying a failed node after its failure tick raises
+    a :attr:`~repro.sim.events.SimEventKind.DEAD_NODE_TRAVERSED` anomaly.
+    A tick of ``-1`` means dead from the start (static validation); a
+    mid-execution tick is the online fault-injection hook — tasks that
+    *finished* on the node before it failed are legitimately unaffected.
     """
 
-    def __init__(self, synthesis: SynthesisResult, schedule: Optional[Schedule] = None):
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        schedule: Optional[Schedule] = None,
+        dead_nodes: Optional[Mapping[str, int]] = None,
+    ):
         self.synthesis = synthesis
         self.chip = synthesis.chip
         self.assay = synthesis.assay
         self.schedule = schedule if schedule is not None else synthesis.schedule
         self.fluid_types = synthesis.fluid_types
+        self.dead_nodes: Dict[str, int] = dict(dead_nodes or {})
 
     # -- public API --------------------------------------------------------------
 
@@ -53,6 +66,8 @@ class ScheduleExecutor:
         }
 
         for task in sorted(self.schedule.tasks(), key=lambda t: (t.start, t.end, t.id)):
+            if self.dead_nodes:
+                self._check_dead_nodes(task, report)
             handler = {
                 TaskKind.TRANSPORT: self._run_transport,
                 TaskKind.REMOVAL: self._run_removal,
@@ -67,6 +82,7 @@ class ScheduleExecutor:
                 report.record(
                     SimEventKind.LEFTOVER_CONTENT, self.schedule.makespan, f"dev:{device}",
                     f"{node} still loaded ({shares} shares unconsumed)",
+                    node=device,
                 )
         return report
 
@@ -78,6 +94,25 @@ class ScheduleExecutor:
         if task.edge is not None:
             return frozenset(task.edge)
         return frozenset()
+
+    def _check_dead_nodes(self, task: ScheduledTask, report: SimReport) -> None:
+        """Flag ``task`` if it occupies a failed node past its failure tick.
+
+        The violated interval is the task's own [start, end): the first
+        task reported here (executor order: start, end, id) is exactly
+        the first interval the online repair loop must fix.
+        """
+        occupied = set(task.path or ())
+        if task.device is not None:
+            occupied.add(task.device)
+        for node in sorted(occupied):
+            fail_at = self.dead_nodes.get(node)
+            if fail_at is not None and task.end > fail_at:
+                report.record(
+                    SimEventKind.DEAD_NODE_TRAVERSED, task.start, task.id,
+                    f"{node} failed at t={fail_at}, occupied until t={task.end}",
+                    node=node,
+                )
 
     def _check_contamination(
         self,
@@ -99,6 +134,7 @@ class ScheduleExecutor:
                 report.record(
                     SimEventKind.CROSS_CONTAMINATION, task.start, task.id,
                     f"{node}: {current.fluid!r} under {task.fluid_type!r}",
+                    node=node,
                 )
 
     def _deposit(self, task: ScheduledTask, residue: Dict[str, _Residue]) -> None:
@@ -115,6 +151,7 @@ class ScheduleExecutor:
                 report.record(
                     SimEventKind.WRONG_PORT, task.start, task.id,
                     f"reagent {src!r} assigned to {expected!r}, drawn from {task.path[0]!r}",
+                    node=task.path[0],
                 )
             report.record(SimEventKind.INJECTION, task.start, task.id,
                           f"{src} from {task.path[0]}")
@@ -125,6 +162,7 @@ class ScheduleExecutor:
                 report.record(
                     SimEventKind.MISSING_CONTENT, task.start, task.id,
                     f"device {device!r} does not hold {src!r}",
+                    node=device,
                 )
             else:
                 shares = held[1] - 1
@@ -179,6 +217,7 @@ class ScheduleExecutor:
             report.record(
                 SimEventKind.MISSING_INPUT, task.start, task.id,
                 f"{op_id} missing {sorted(missing)}",
+                node=device,
             )
         shares = consumer_count[op_id]
         if shares == 0:

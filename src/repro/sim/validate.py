@@ -9,9 +9,15 @@ structurally, failing loudly on:
 * **resource conflicts** — two tasks overlapping on a chip node,
 * **execution anomalies** — any :class:`~repro.sim.events.SimEventKind`
   anomaly (cross-contamination, missing inputs/content, wrong ports,
-  leftover content) raised while executing the schedule operationally,
+  leftover content, dead-node traversal) raised while executing the
+  schedule operationally,
 * **dropped tasks** — a baseline task absent from the final schedule that
   no wash absorbed (ψ-integration is the only legal removal).
+
+Problems are **structured** (:class:`ValidationProblem`: kind, task ids,
+node, violated time window) rather than bare strings — the online
+degradation monitor consumes the violated interval directly, and failure
+reports can render the full context instead of a truncated message.
 
 This is the safety net under the solver degradation ladder: a plan built
 by a lower rung (branch-and-bound, greedy assembly) passes exactly the
@@ -20,54 +26,215 @@ same gauntlet as an optimal one.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
 from repro.core.plan import WashPlan
-from repro.errors import WashError
+from repro.errors import DegradedInfeasibleError, SchedulingError, WashError
 from repro.obs.metrics import registry
 from repro.obs.trace import span
+from repro.sim.events import SimEvent, SimEventKind
 from repro.sim.executor import ScheduleExecutor
 from repro.synth.synthesis import SynthesisResult
+
+
+@dataclass(frozen=True)
+class ValidationProblem:
+    """One structured validation violation.
+
+    ``kind`` is ``"conflict"``, ``"dropped_task"`` or a
+    :class:`~repro.sim.events.SimEventKind` value; ``start``/``end`` is
+    the violated time window where one is known (the online repair loop
+    keys on it); ``node`` localizes the violation on the chip.
+    """
+
+    kind: str
+    task_id: str = ""
+    #: Second task involved (resource conflicts only).
+    other_task_id: str = ""
+    node: Optional[str] = None
+    start: Optional[int] = None
+    end: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f" at {self.node}" if self.node else ""
+        window = (
+            f" in [{self.start}, {self.end})"
+            if self.start is not None and self.end is not None
+            else (f" at t={self.start}" if self.start is not None else "")
+        )
+        who = self.task_id
+        if self.other_task_id:
+            who = f"{self.task_id}+{self.other_task_id}"
+        tail = f": {self.detail}" if self.detail else ""
+        return f"{self.kind} ({who}){where}{window}{tail}"
 
 
 class PlanValidationError(WashError):
     """A wash plan failed independent validation.
 
-    ``problems`` lists every violation found, not just the first.
+    ``problems`` lists every violation found (as structured
+    :class:`ValidationProblem` records), not just the first.
     """
 
-    def __init__(self, method: str, problems: List[str]):
+    def __init__(self, method: str, problems: List[ValidationProblem]):
         self.problems = list(problems)
-        shown = "; ".join(self.problems[:5])
+        shown = "; ".join(str(p) for p in self.problems[:5])
         more = f" (+{len(self.problems) - 5} more)" if len(self.problems) > 5 else ""
         super().__init__(f"{method} plan failed validation: {shown}{more}")
 
 
-def validation_problems(plan: WashPlan, synthesis: SynthesisResult) -> List[str]:
-    """All validation violations of ``plan``; empty when the plan is sound."""
-    problems: List[str] = []
+def _task(plan: WashPlan, task_id: str):
+    """The scheduled task behind an id, or ``None`` for synthetic ids
+    (the executor reports leftover content under ``dev:<device>``)."""
+    try:
+        return plan.schedule.get(task_id)
+    except SchedulingError:
+        return None
 
-    for conflict in plan.schedule.conflicts()[:10]:
-        problems.append(f"resource conflict: {conflict}")
+
+def _conflict_problem(plan: WashPlan, a_id: str, b_id: str) -> ValidationProblem:
+    """Structure one resource conflict: overlap window + a shared node."""
+    a, b = _task(plan, a_id), _task(plan, b_id)
+    start = end = None
+    node = None
+    if a is not None and b is not None:
+        start, end = max(a.start, b.start), min(a.end, b.end)
+        shared = sorted(set(a.path or ()) & set(b.path or ()))
+        node = shared[0] if shared else None
+    return ValidationProblem(
+        kind="conflict",
+        task_id=a_id,
+        other_task_id=b_id,
+        node=node,
+        start=start,
+        end=end,
+        detail="tasks overlap on the chip",
+    )
+
+
+def _anomaly_problem(plan: WashPlan, event: SimEvent) -> ValidationProblem:
+    """Structure one executor anomaly, resolving the task's time window."""
+    task = _task(plan, event.task_id)
+    end = task.end if task is not None else None
+    return ValidationProblem(
+        kind=event.kind.value,
+        task_id=event.task_id,
+        node=event.node,
+        start=event.time,
+        end=end,
+        detail=event.detail,
+    )
+
+
+def validation_problems(
+    plan: WashPlan,
+    synthesis: SynthesisResult,
+    dead_nodes: Optional[Mapping[str, int]] = None,
+) -> List[ValidationProblem]:
+    """All validation violations of ``plan``; empty when the plan is sound.
+
+    ``dead_nodes`` (node → failure tick) additionally replays the
+    schedule against a degraded chip: any task occupying a failed node
+    past its failure tick becomes a ``dead_node_traversed`` problem.
+    """
+    problems: List[ValidationProblem] = []
+
+    for a_id, b_id in plan.schedule.conflicts()[:10]:
+        problems.append(_conflict_problem(plan, a_id, b_id))
 
     absorbed = {rm for w in plan.washes for rm in w.absorbed_removals}
     scheduled = {t.id for t in plan.schedule.tasks()}
     for task in plan.baseline_schedule.tasks():
         if task.id not in scheduled and task.id not in absorbed:
-            problems.append(f"baseline task {task.id!r} dropped without absorption")
+            problems.append(
+                ValidationProblem(
+                    kind="dropped_task",
+                    task_id=task.id,
+                    start=task.start,
+                    end=task.end,
+                    detail="baseline task dropped without absorption",
+                )
+            )
 
-    report = ScheduleExecutor(synthesis, plan.schedule).run()
+    report = ScheduleExecutor(synthesis, plan.schedule, dead_nodes=dead_nodes).run()
     for event in report.anomalies[:10]:
-        problems.append(
-            f"{event.kind.value} at t={event.time} ({event.task_id}): {event.detail}"
-        )
+        problems.append(_anomaly_problem(plan, event))
     return problems
 
 
-def validate_plan(plan: WashPlan, synthesis: SynthesisResult) -> None:
-    """Raise :class:`PlanValidationError` unless ``plan`` replays cleanly."""
+def degraded_validation_problems(
+    plan: WashPlan,
+    synthesis: SynthesisResult,
+    dead_nodes: Mapping[str, int],
+    uncovered: frozenset,
+) -> Tuple[List[ValidationProblem], List[ValidationProblem]]:
+    """Validation of a plan on a degraded chip: ``(problems, waived)``.
+
+    The full gauntlet runs with the dead-node monitor armed, then
+    cross-contamination at *reported-uncovered* wash targets is waived —
+    those are the plan's declared coverage gaps, surfaced as ``DEGRADED``
+    rows rather than failures.  Everything else (conflicts, dropped
+    tasks, contamination at covered nodes, any route over a dead node)
+    still fails the plan.
+    """
+    problems = validation_problems(plan, synthesis, dead_nodes=dead_nodes)
+    real: List[ValidationProblem] = []
+    waived: List[ValidationProblem] = []
+    for problem in problems:
+        if (
+            problem.kind == SimEventKind.CROSS_CONTAMINATION.value
+            and problem.node is not None
+            and problem.node in uncovered
+        ):
+            waived.append(problem)
+        else:
+            real.append(problem)
+    return real, waived
+
+
+def validate_plan(
+    plan: WashPlan,
+    synthesis: SynthesisResult,
+    degradation: Optional[object] = None,
+) -> None:
+    """Raise :class:`PlanValidationError` unless ``plan`` replays cleanly.
+
+    ``degradation`` (a :class:`~repro.degrade.model.DegradationInfo`)
+    switches to degraded validation: dead nodes are armed in the
+    executor (so zero routes may traverse them) and contamination at the
+    plan's reported-uncovered targets is waived but counted
+    (``pdw_degrade_uncovered_violations_total``).  A *baseline* task
+    (anything but a wash) caught traversing a statically-dead node means
+    the assay itself cannot execute on this chip — that is proven
+    infeasibility (:class:`~repro.errors.DegradedInfeasibleError`), not a
+    planning bug.
+    """
     with span("sim.validate", method=plan.method) as sp:
-        problems = validation_problems(plan, synthesis)
+        if degradation is not None:
+            dead_from = {node: -1 for node in degradation.dead}
+            problems, waived = degraded_validation_problems(
+                plan, synthesis, dead_from, frozenset(degradation.uncovered_targets)
+            )
+            sp.set("waived", len(waived))
+            if waived:
+                registry().counter(
+                    "pdw_degrade_uncovered_violations_total", method=plan.method
+                ).inc(len(waived))
+            baseline_dead = [
+                p
+                for p in problems
+                if p.kind == SimEventKind.DEAD_NODE_TRAVERSED.value
+                and not p.task_id.startswith("wash:")
+            ]
+            if baseline_dead:
+                raise DegradedInfeasibleError(
+                    f"assay infeasible on degraded chip: {baseline_dead[0]}"
+                    + (f" (+{len(baseline_dead) - 1} more)" if len(baseline_dead) > 1 else "")
+                )
+        else:
+            problems = validation_problems(plan, synthesis)
         sp.set("problems", len(problems))
         registry().counter(
             "pdw_plan_validations_total",

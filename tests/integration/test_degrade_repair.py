@@ -1,0 +1,139 @@
+"""Integration tests: online detect→replan repair and the degrade matrix."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import PDWConfig, optimize_washes
+from repro.degrade.repair import (
+    detect_first_violation,
+    pick_online_fault,
+    repair_plan,
+)
+from repro.degrade.suite import SUCCESS_OUTCOMES, run_degrade_matrix
+from repro.errors import DegradationError
+from repro.export.plan_json import plan_to_dict
+from repro.sim.events import SimEventKind
+from repro.sim.validate import degraded_validation_problems
+from repro.synth import synthesize
+
+from tests.conftest import build_demo_assay
+
+
+@pytest.fixture(scope="module")
+def demo_synthesis():
+    return synthesize(build_demo_assay())
+
+
+@pytest.fixture(scope="module")
+def healthy_plan(demo_synthesis):
+    return optimize_washes(demo_synthesis, PDWConfig())
+
+
+def test_auto_fault_violates_only_wash_intervals(demo_synthesis, healthy_plan):
+    fault = pick_online_fault(healthy_plan, demo_synthesis)
+    assert fault is not None
+
+    event = detect_first_violation(healthy_plan, demo_synthesis, fault)
+    assert event is not None
+    assert event.kind is SimEventKind.DEAD_NODE_TRAVERSED
+    assert event.task_id.startswith("wash:")
+    assert event.node == fault.node
+
+
+def test_repair_loop_converges_to_validator_clean_plan(demo_synthesis, healthy_plan):
+    fault = pick_online_fault(healthy_plan, demo_synthesis)
+    result = repair_plan(healthy_plan, demo_synthesis, PDWConfig(), fault)
+
+    assert result.status in ("repaired", "degraded")
+    assert result.records, "a real fault must take at least one repair round"
+    assert result.records[0].node == fault.node
+    assert result.plan.repairs == result.records
+
+    # The repaired plan never sends a wash through the failed node after
+    # the failure tick, and the degraded validator finds nothing.
+    uncovered = set()
+    info = result.plan.degradation
+    if info is not None:
+        uncovered = set(info.uncovered_targets)
+        assert fault.node in info.dead
+    problems, _ = degraded_validation_problems(
+        result.plan, demo_synthesis, {fault.node: fault.time}, uncovered
+    )
+    assert not problems
+
+
+def test_repaired_plan_json_carries_repair_rounds(demo_synthesis, healthy_plan):
+    result = repair_plan(healthy_plan, demo_synthesis, PDWConfig())
+    payload = plan_to_dict(result.plan)
+    assert payload["repairs"]
+    record = payload["repairs"][0]
+    assert record["outcome"] == "replanned"
+    assert record["node"] == result.failure.node
+    assert "wall_s" in record
+
+
+def test_degrade_matrix_static_rows(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    result = run_degrade_matrix(
+        names=["PCR"], scenarios="light,moderate", journal_path=journal
+    )
+    assert len(result.rows) == 2
+    assert result.ok
+    for row in result.rows:
+        assert row.outcome in SUCCESS_OUTCOMES
+        assert row.benchmark == "PCR"
+        assert 0.0 <= row.coverage <= 1.0
+        assert len(row.dead) >= 1
+    scenarios = [row.scenario for row in result.rows]
+    assert scenarios == ["channels=1:seed=0", "channels=2:valves=1:seed=0"]
+
+    records = [json.loads(line) for line in journal.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["degrade", "degrade"]
+    assert {r["scenario"] for r in records} == set(scenarios)
+
+
+def test_degrade_matrix_online_repair(tmp_path):
+    result = run_degrade_matrix(
+        names=["PCR"],
+        scenarios="",
+        online="auto",
+        journal_path=tmp_path / "journal.jsonl",
+    )
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row.scenario == "none+online"
+    assert row.outcome in ("REPAIRED", "DEGRADED")
+    assert row.repair_rounds >= 1
+
+
+def test_degrade_matrix_rejects_preset_config():
+    with pytest.raises(DegradationError):
+        run_degrade_matrix(names=["PCR"], config=PDWConfig(degrade="light"))
+
+
+def test_statically_dead_used_node_exits_three(capsys):
+    # A baseline-used node that dies before execution makes the *assay*
+    # infeasible: the matrix reports INFEASIBLE_DEGRADED and exits 3.
+    from repro.bench.library import benchmark, load_benchmark
+
+    spec = benchmark("PCR")
+    synthesis = synthesize(load_benchmark("PCR"), inventory=spec.inventory)
+    used = sorted(
+        n
+        for task in synthesis.schedule.tasks()
+        for n in (task.path or ())
+        if not synthesis.chip.is_port(n)
+    )
+    code = main(["suite", "PCR", "--degrade", f"dead={used[0]}"])
+    out = capsys.readouterr().out
+    assert code == 3
+    assert "INFEASIBLE_DEGRADED" in out
+
+
+def test_suite_cli_online_repair_exits_zero(capsys):
+    code = main(["suite", "PCR", "--degrade-online"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "REPAIRED" in out or "DEGRADED" in out

@@ -1,0 +1,130 @@
+"""Unit tests: degradation spec grammar, sampling and plan threading."""
+
+import pytest
+
+from repro.core import PDWConfig, optimize_washes
+from repro.degrade.model import PRESETS, derive, parse_matrix, parse_spec
+from repro.errors import DegradationError, DegradedInfeasibleError
+from repro.synth import synthesize
+
+from tests.conftest import build_demo_assay
+
+
+# -- spec grammar ------------------------------------------------------------------
+
+def test_presets_parse_to_canonical_tokens():
+    for name, expansion in PRESETS.items():
+        assert parse_spec(name) == parse_spec(expansion)
+
+
+def test_token_is_canonical_and_reparses():
+    spec = parse_spec("valves=1:channels=2:seed=7")
+    assert spec.token() == "channels=2:valves=1:seed=7"
+    assert parse_spec(spec.token()) == spec
+
+
+def test_dead_nodes_sorted_and_deduplicated():
+    spec = parse_spec("dead=n2+n1+n2")
+    assert spec.dead == ("n1", "n2")
+    assert spec.token() == "dead=n1+n2"
+
+
+def test_seed_omitted_when_nothing_sampled():
+    assert parse_spec("dead=n1").token() == "dead=n1"
+    assert "seed=" in parse_spec("channels=1").token()
+
+
+def test_with_dead_merges():
+    spec = parse_spec("channels=1").with_dead(["x"])
+    assert spec.dead == ("x",)
+    assert spec.channels == 1
+
+
+def test_parse_matrix_splits_scenarios():
+    specs = parse_matrix("light, moderate")
+    assert [s.token() for s in specs] == [
+        "channels=1:seed=0",
+        "channels=2:valves=1:seed=0",
+    ]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "bogus", "channels=x", "channels=-1", "dead=", "channels=0", "k=1"],
+)
+def test_malformed_specs_raise(bad):
+    with pytest.raises(DegradationError):
+        parse_spec(bad)
+
+
+# -- derivation --------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def demo_synthesis():
+    return synthesize(build_demo_assay())
+
+
+def test_derive_is_deterministic(demo_synthesis):
+    spec = parse_spec("channels=2:valves=1:seed=3")
+    a = derive(demo_synthesis.chip, demo_synthesis.schedule, spec)
+    b = derive(demo_synthesis.chip, demo_synthesis.schedule, spec)
+    assert a == b
+    assert len(a.dead) >= 1
+
+
+def test_sampled_nodes_are_unused_by_baseline(demo_synthesis):
+    spec = parse_spec("channels=3:valves=2:seed=1")
+    degradation = derive(demo_synthesis.chip, demo_synthesis.schedule, spec)
+    used = set()
+    for task in demo_synthesis.schedule.tasks():
+        used.update(task.path or ())
+        if task.device is not None:
+            used.add(task.device)
+    sampled = set(degradation.channels) | set(degradation.valves)
+    assert not (sampled & used)
+
+
+def test_derive_rejects_unknown_and_port_nodes(demo_synthesis):
+    with pytest.raises(DegradationError):
+        derive(demo_synthesis.chip, demo_synthesis.schedule, parse_spec("dead=nope"))
+    port = sorted(demo_synthesis.chip.flow_ports)[0]
+    with pytest.raises(DegradationError):
+        derive(
+            demo_synthesis.chip, demo_synthesis.schedule, parse_spec(f"dead={port}")
+        )
+
+
+# -- pipeline threading ------------------------------------------------------------
+
+def test_config_normalizes_degrade_spec():
+    cfg = PDWConfig(degrade="moderate")
+    assert cfg.degrade == "channels=2:valves=1:seed=0"
+    with pytest.raises(DegradationError):
+        PDWConfig(degrade="nonsense")
+
+
+def test_degraded_plan_avoids_dead_nodes(demo_synthesis):
+    plan = optimize_washes(demo_synthesis, PDWConfig(degrade="moderate"))
+    info = plan.degradation
+    assert info is not None
+    assert info.spec == "channels=2:valves=1:seed=0"
+    for wash in plan.washes:
+        assert not (set(wash.path) & info.dead)
+
+
+def test_dead_used_node_is_proven_infeasible(demo_synthesis):
+    healthy = optimize_washes(demo_synthesis, PDWConfig())
+    assert healthy.degradation is None
+    target = sorted(healthy.washes[0].targets)[0]
+    with pytest.raises(DegradedInfeasibleError):
+        optimize_washes(demo_synthesis, PDWConfig(degrade=f"dead={target}"))
+
+
+def test_plan_json_embeds_degradation(demo_synthesis):
+    from repro.export.plan_json import plan_to_dict
+
+    plan = optimize_washes(demo_synthesis, PDWConfig(degrade="light"))
+    payload = plan_to_dict(plan)
+    assert payload["degradation"]["spec"] == "channels=1:seed=0"
+    assert payload["degradation"]["coverage"] == 1.0
+    assert "repairs" not in payload
