@@ -18,7 +18,9 @@ Subcommands::
     pdw simulate <benchmark> [--method ...]  # discrete-event execution log
     pdw export <benchmark> --what plan|actuation|svg|trace|metrics
                [--format json|prom] [--out FILE]
-    pdw cache {info,clear,verify,gc}         # on-disk artifact cache
+    pdw cache {info,clear,verify,gc} [--cache DIR]  # on-disk artifact cache
+    pdw serve [--host H] [--port P] [--workers N] [--queue-cap N]
+              [--cache DIR] [--timeout S]    # HTTP job API (docs/SERVICE.md)
 
 Exit codes: 0 success; 1 simulation broken / corrupt cache entries found /
 ``pdw bench --compare`` detected a hot-path regression; 2 a
@@ -261,6 +263,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="gc: evict oldest entries until the cache fits this many bytes",
     )
+    p_cache.add_argument(
+        "--cache", default=None, metavar="DIR", dest="cache_dir",
+        help="operate on this cache directory (beats $REPRO_CACHE_DIR beats "
+        "~/.cache/repro-pdw)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="long-running optimization-as-a-service job server"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 to expose)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8977,
+        help="TCP port (default 8977; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="job executor threads (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-cap", type=int, default=64, metavar="N",
+        help="bounded admission: queued-job cap before submits get 429 "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--cache", default=None, metavar="DIR", dest="cache_dir",
+        help="artifact cache directory (beats $REPRO_CACHE_DIR beats "
+        "~/.cache/repro-pdw)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-job wall-clock budget in seconds (default 600)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true", help="bypass the artifact cache"
+    )
 
     p_cost = sub.add_parser("cost", help="chip cost report + plan comparison")
     p_cost.add_argument("benchmark", choices=list(BENCHMARKS))
@@ -346,7 +386,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_bench_cmd(args)
 
     if args.command == "cache":
-        return _run_cache(args.action, getattr(args, "max_bytes", None))
+        return _run_cache(
+            args.action, getattr(args, "max_bytes", None), args.cache_dir
+        )
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     degrade = getattr(args, "degrade", "")
     if degrade and args.method != "pdw":
@@ -508,8 +553,31 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _run_cache(action: str, max_bytes: int | None = None) -> int:
-    cache = default_cache()
+def _run_serve(args: argparse.Namespace) -> int:
+    """``pdw serve``: the optimization-as-a-service front door (DESIGN.md §15)."""
+    from repro.serve import JobServer
+
+    server = JobServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        job_timeout_s=args.timeout,
+    )
+    # The readiness line goes to stdout *flushed* so harnesses (CI, the
+    # TUTORIAL §10 walkthrough) can wait on it before the first request.
+    print(f"pdw serve listening on http://{server.host}:{server.port}", flush=True)
+    server.serve_forever(install_signals=True)
+    print("pdw serve: shut down cleanly", flush=True)
+    return 0
+
+
+def _run_cache(
+    action: str, max_bytes: int | None = None, cache_dir: str | None = None
+) -> int:
+    cache = default_cache(cache_dir)
     if cache is None:
         print("artifact cache disabled (REPRO_CACHE=off)")
         return 0
@@ -526,7 +594,7 @@ def _run_cache(action: str, max_bytes: int | None = None) -> int:
         print(f"evicted {removed} artifacts ({freed} bytes) from {cache.root}")
         return 0
     count, total = cache.stats()
-    print(f"cache dir:   {default_cache_dir()}")
+    print(f"cache dir:   {default_cache_dir(cache_dir)}")
     print(f"artifacts:   {count}")
     print(f"total bytes: {total}")
     return 0

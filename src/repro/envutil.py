@@ -1,4 +1,4 @@
-"""Warn-not-crash parsing of numeric ``REPRO_*`` environment knobs.
+"""Warn-not-crash parsing and precedence of ``REPRO_*`` environment knobs.
 
 Several subsystems take integer tuning knobs from the environment —
 ``REPRO_SUITE_WORKERS`` (suite fan-out), ``REPRO_PATHGEN_WORKERS``
@@ -8,13 +8,21 @@ They share one failure policy: a malformed value must never crash whatever
 pipeline happened to read it first.  :func:`env_int` is the single
 implementation of that policy; a bad value raises a :class:`RuntimeWarning`
 naming the variable and falls back to ``default``.
+
+Knobs that exist both as a CLI flag and as an environment variable
+(``--cache DIR`` vs ``$REPRO_CACHE_DIR``, ``--sched-workers`` vs
+``$REPRO_SCHED_WORKERS``) share one precedence rule, implemented once by
+:func:`pick`: an explicit flag beats the environment beats the built-in
+default.
 """
 
 from __future__ import annotations
 
 import os
 import warnings
-from typing import Optional
+from typing import Optional, TypeVar
+
+T = TypeVar("T")
 
 #: Binary multipliers accepted when ``suffixes=True`` (cache sizes).
 _SUFFIXES = (("K", 2**10), ("M", 2**20), ("G", 2**30))
@@ -64,3 +72,26 @@ def env_int(
         )
         return default
     return value
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """``$name`` stripped of whitespace, or ``default`` when unset/empty."""
+    raw = os.environ.get(name, "").strip()
+    return raw if raw else default
+
+
+def pick(explicit: Optional[T], env_name: str, default: T) -> T:
+    """Shared CLI/env/default precedence for dual-surface knobs.
+
+    An explicit (non-``None``) value — typically a CLI flag — always wins;
+    otherwise a non-empty ``$env_name`` is used; otherwise ``default``.
+    Every knob that exists both as a flag and as a ``REPRO_*`` variable
+    must resolve through here so the precedence cannot drift between
+    subcommands (``pdw cache --cache`` vs ``pdw serve --cache``).
+    """
+    if explicit is not None:
+        return explicit
+    env = env_str(env_name)
+    if env is not None:
+        return env  # type: ignore[return-value]
+    return default

@@ -41,7 +41,7 @@ from dataclasses import asdict, dataclass, field, is_dataclass
 from pathlib import Path
 from typing import Any, Iterator, List, Optional, Tuple
 
-from repro.envutil import env_int
+from repro.envutil import env_int, pick
 from repro.pipeline import chaos
 
 #: Global salt for every digest; bump to invalidate all cached artifacts
@@ -403,18 +403,21 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "").lower() not in ("0", "off", "false", "no")
 
 
-def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro-pdw``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
+def default_cache_dir(explicit: Optional[str] = None) -> Path:
+    """Resolve the cache directory with the shared flag/env/default precedence.
+
+    ``explicit`` (a ``--cache DIR`` flag) beats ``$REPRO_CACHE_DIR`` beats
+    the XDG default ``~/.cache/repro-pdw`` — the one precedence rule for
+    every surface that takes a cache directory (``pdw cache``, ``pdw
+    serve``), implemented by :func:`repro.envutil.pick`.
+    """
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "repro-pdw"
+    return Path(pick(explicit, "REPRO_CACHE_DIR", str(base / "repro-pdw")))
 
 
-def default_cache() -> Optional[ArtifactCache]:
+def default_cache(explicit: Optional[str] = None) -> Optional[ArtifactCache]:
     """The process-wide default cache, or ``None`` when disabled."""
     if not cache_enabled():
         return None
-    return ArtifactCache(default_cache_dir())
+    return ArtifactCache(default_cache_dir(explicit))

@@ -1,0 +1,103 @@
+"""Bounded, per-client-fair admission queue for the job server.
+
+A plain FIFO would let one chatty client starve everyone behind a burst
+of submissions.  :class:`FairQueue` keeps one FIFO **per client** and
+deals work round-robin across clients: within a client, jobs run in
+submission order; across clients, each gets one job per rotation.  Total
+occupancy is bounded — :meth:`offer` returns ``False`` at capacity and
+the server turns that into ``429 Retry-After`` (bounded admission beats
+an unbounded backlog that times every job out).
+
+Thread-safe; :meth:`take` blocks on a condition variable, and
+:meth:`remove` supports cancellation of still-queued jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Deque, Optional
+
+
+class FairQueue:
+    """Bounded multi-client queue with round-robin fairness."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("FairQueue capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # OrderedDict so the round-robin rotation order is deterministic:
+        # clients are served in first-seen order, moved to the back after
+        # each take.
+        self._lanes: "OrderedDict[str, Deque[Any]]" = OrderedDict()
+        self._size = 0
+        self._closed = False
+
+    def offer(self, client: str, item: Any) -> bool:
+        """Enqueue ``item`` for ``client``; ``False`` when full or closed."""
+        with self._lock:
+            if self._closed or self._size >= self.capacity:
+                return False
+            lane = self._lanes.get(client)
+            if lane is None:
+                lane = self._lanes[client] = deque()
+            lane.append(item)
+            self._size += 1
+            self._not_empty.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the next item round-robin, or ``None`` on timeout/close."""
+        with self._lock:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            # First non-empty lane in rotation order gets served, then
+            # rotates to the back so the next take serves the next client.
+            for client in list(self._lanes):
+                lane = self._lanes[client]
+                if not lane:
+                    continue
+                item = lane.popleft()
+                self._size -= 1
+                self._lanes.move_to_end(client)
+                if not lane:
+                    del self._lanes[client]
+                return item
+            raise AssertionError("FairQueue size/lane bookkeeping diverged")
+
+    def remove(self, item: Any) -> bool:
+        """Remove a queued item (job cancellation); ``False`` if not queued."""
+        with self._lock:
+            for client, lane in list(self._lanes.items()):
+                try:
+                    lane.remove(item)
+                except ValueError:
+                    continue
+                self._size -= 1
+                if not lane:
+                    del self._lanes[client]
+                return True
+            return False
+
+    def depth(self) -> int:
+        with self._lock:
+            return self._size
+
+    def drain(self) -> list:
+        """Empty the queue (shutdown), returning the abandoned items."""
+        with self._lock:
+            items = [item for lane in self._lanes.values() for item in lane]
+            self._lanes.clear()
+            self._size = 0
+            return items
+
+    def close(self) -> None:
+        """Wake every blocked :meth:`take` and refuse further offers."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

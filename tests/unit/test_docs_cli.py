@@ -70,6 +70,28 @@ class TestCliDocs:
                 f"in its docs/CLI.md section"
             )
 
+    @pytest.mark.parametrize("name", sorted(_subparsers(build_parser())))
+    def test_every_choice_value_is_documented(self, name):
+        """Enum flags (report names, cache actions, --what, --method, ...)
+        must document every accepted value, not just the flag itself.
+        Benchmark-name choice lists are exempt — sections point at
+        ``pdw list`` instead of enumerating Table II."""
+        from repro.bench import BENCHMARKS
+
+        body = self.sections[name]
+        benchmarks = set(BENCHMARKS)
+        for action in self.subcommands[name]._actions:
+            if isinstance(action, argparse._HelpAction) or not action.choices:
+                continue
+            choices = set(action.choices)
+            if choices <= benchmarks:
+                continue
+            for value in choices:
+                assert f"`{value}`" in body, (
+                    f"'pdw {name}' choice {value!r} of {action.dest!r} is "
+                    f"not documented in its docs/CLI.md section"
+                )
+
     def test_exit_codes_documented(self):
         assert "## Exit codes" in self.text
         for code in ("0", "1", "2", "3"):

@@ -1,0 +1,69 @@
+"""docs/OBSERVABILITY.md's series table cannot drift from the source tree.
+
+Every ``pdw_*`` metric name registered anywhere under ``src/repro/`` must
+have a row in the Built-in series table, and every row must name a series
+that still exists in code — the docs-drift contract CLI.md and SERVICE.md
+already have, applied to metrics.  (PR 8 shipped ``pdw_degrade_*`` series
+the table lagged behind on; this test makes that class of drift a
+failure.)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+OBS_MD = REPO / "docs" / "OBSERVABILITY.md"
+SRC = REPO / "src" / "repro"
+
+#: Metric names are always ``pdw_``-prefixed string literals at the
+#: registration site (naming convention section of the doc).
+_NAME = re.compile(r'"(pdw_[a-z0-9_]+)"')
+#: A series-table row: | `pdw_name` | kind | labels |
+_ROW = re.compile(r"^\|\s*`(pdw_[a-z0-9_]+)`\s*\|\s*(counter|gauge|histogram)\s*\|", re.M)
+
+
+def _code_series() -> set:
+    names = set()
+    for path in SRC.rglob("*.py"):
+        names.update(_NAME.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def _documented_series(text: str) -> set:
+    return {m.group(1) for m in _ROW.finditer(text)}
+
+
+class TestObservabilityDocs:
+    text = OBS_MD.read_text(encoding="utf-8")
+    documented = _documented_series(text)
+    in_code = _code_series()
+
+    def test_tables_parsed_at_all(self):
+        assert len(self.documented) > 20
+        assert len(self.in_code) > 20
+
+    def test_every_registered_series_is_documented(self):
+        missing = self.in_code - self.documented
+        assert not missing, (
+            f"metric series registered in src/repro but missing from "
+            f"docs/OBSERVABILITY.md: {sorted(missing)}"
+        )
+
+    def test_no_row_documents_a_ghost_series(self):
+        ghosts = self.documented - self.in_code
+        assert not ghosts, (
+            f"docs/OBSERVABILITY.md documents series absent from code: "
+            f"{sorted(ghosts)}"
+        )
+
+    def test_repair_histogram_buckets_documented(self):
+        # The one histogram with custom buckets: the doc must state the
+        # unit and the bucket override, pinned to the code constant.
+        from repro.degrade.repair import REPAIR_BUCKETS
+
+        assert REPAIR_BUCKETS == (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0)
+        assert "REPAIR_BUCKETS" in self.text
+        assert "0.05, 0.1, 0.25, 0.5, 1.0, 2.5,\n5.0, 15.0, 60.0" in self.text or \
+            "0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0" in self.text.replace("\n", " ")

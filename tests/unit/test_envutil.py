@@ -1,0 +1,74 @@
+"""The shared CLI/env/default precedence helper (`repro.envutil.pick`).
+
+Satellite of the serve PR: ``pdw cache --cache`` and ``pdw serve --cache``
+must resolve the cache directory through one implementation, so the
+precedence (explicit flag beats ``$REPRO_CACHE_DIR`` beats the XDG
+default) cannot drift between subcommands.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.envutil import env_str, pick
+from repro.pipeline.cache import default_cache_dir
+
+
+def test_env_str_unset_returns_default(monkeypatch):
+    monkeypatch.delenv("PDW_TEST_KNOB", raising=False)
+    assert env_str("PDW_TEST_KNOB") is None
+    assert env_str("PDW_TEST_KNOB", "fallback") == "fallback"
+
+
+def test_env_str_empty_and_whitespace_are_unset(monkeypatch):
+    monkeypatch.setenv("PDW_TEST_KNOB", "   ")
+    assert env_str("PDW_TEST_KNOB", "fallback") == "fallback"
+    monkeypatch.setenv("PDW_TEST_KNOB", " value ")
+    assert env_str("PDW_TEST_KNOB") == "value"
+
+
+def test_pick_explicit_beats_env_beats_default(monkeypatch):
+    monkeypatch.setenv("PDW_TEST_KNOB", "from-env")
+    assert pick("from-flag", "PDW_TEST_KNOB", "built-in") == "from-flag"
+    assert pick(None, "PDW_TEST_KNOB", "built-in") == "from-env"
+    monkeypatch.delenv("PDW_TEST_KNOB")
+    assert pick(None, "PDW_TEST_KNOB", "built-in") == "built-in"
+
+
+def test_default_cache_dir_precedence(monkeypatch, tmp_path):
+    env_dir = tmp_path / "env-cache"
+    flag_dir = tmp_path / "flag-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(env_dir))
+    # An explicit flag beats the environment variable...
+    assert default_cache_dir(str(flag_dir)) == flag_dir
+    # ...the environment variable beats the XDG default...
+    assert default_cache_dir() == env_dir
+    # ...and with neither, the XDG fallback applies.
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-pdw"
+
+
+def test_pdw_cache_honors_cache_flag_over_env(monkeypatch, tmp_path, capsys):
+    env_dir = tmp_path / "env-cache"
+    flag_dir = tmp_path / "flag-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(env_dir))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+
+    assert main(["cache", "info", "--cache", str(flag_dir)]) == 0
+    out = capsys.readouterr().out
+    assert str(flag_dir) in out
+    assert str(env_dir) not in out
+
+    # Without the flag the env var still wins (backward compatible).
+    assert main(["cache", "info"]) == 0
+    assert str(env_dir) in capsys.readouterr().out
+
+
+def test_pdw_cache_clear_targets_flag_dir(monkeypatch, tmp_path, capsys):
+    flag_dir = tmp_path / "flag-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert main(["cache", "clear", "--cache", str(flag_dir)]) == 0
+    assert str(Path(flag_dir)) in capsys.readouterr().out

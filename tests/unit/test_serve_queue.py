@@ -1,0 +1,100 @@
+"""FairQueue: per-client FIFO order, round-robin fairness, bounded capacity."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import FairQueue
+
+
+class TestOrdering:
+    def test_single_client_is_fifo(self):
+        q = FairQueue(capacity=8)
+        for i in range(5):
+            assert q.offer("a", i)
+        assert [q.take(timeout=0) for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_round_robin_across_clients(self):
+        q = FairQueue(capacity=16)
+        # Client a bursts 3 jobs before b and c submit one each; fairness
+        # means b and c each get a slot per rotation instead of waiting
+        # out a's whole burst.
+        for item in ("a1", "a2", "a3"):
+            q.offer("a", item)
+        q.offer("b", "b1")
+        q.offer("c", "c1")
+        order = [q.take(timeout=0) for _ in range(5)]
+        assert order == ["a1", "b1", "c1", "a2", "a3"]
+
+    def test_within_client_order_survives_rotation(self):
+        q = FairQueue(capacity=16)
+        for i in range(3):
+            q.offer("x", f"x{i}")
+            q.offer("y", f"y{i}")
+        drained = [q.take(timeout=0) for _ in range(6)]
+        assert [d for d in drained if d.startswith("x")] == ["x0", "x1", "x2"]
+        assert [d for d in drained if d.startswith("y")] == ["y0", "y1", "y2"]
+
+
+class TestCapacity:
+    def test_offer_false_at_capacity(self):
+        q = FairQueue(capacity=2)
+        assert q.offer("a", 1)
+        assert q.offer("b", 2)
+        assert not q.offer("a", 3)
+        assert q.depth() == 2
+
+    def test_capacity_is_total_not_per_client(self):
+        q = FairQueue(capacity=3)
+        assert all(q.offer("same", i) for i in range(3))
+        assert not q.offer("other", 99)
+
+    def test_take_frees_a_slot(self):
+        q = FairQueue(capacity=1)
+        assert q.offer("a", 1)
+        assert not q.offer("a", 2)
+        assert q.take(timeout=0) == 1
+        assert q.offer("a", 2)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairQueue(capacity=0)
+
+
+class TestRemoveAndClose:
+    def test_remove_queued_item(self):
+        q = FairQueue(capacity=8)
+        q.offer("a", "keep")
+        q.offer("a", "drop")
+        assert q.remove("drop")
+        assert not q.remove("drop")
+        assert q.take(timeout=0) == "keep"
+        assert q.depth() == 0
+
+    def test_take_timeout_returns_none(self):
+        q = FairQueue(capacity=2)
+        assert q.take(timeout=0.01) is None
+
+    def test_close_wakes_blocked_takers(self):
+        q = FairQueue(capacity=2)
+        results = []
+        t = threading.Thread(target=lambda: results.append(q.take(timeout=5.0)))
+        t.start()
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert results == [None]
+
+    def test_closed_queue_refuses_offers(self):
+        q = FairQueue(capacity=2)
+        q.close()
+        assert not q.offer("a", 1)
+
+    def test_drain_empties_everything(self):
+        q = FairQueue(capacity=8)
+        q.offer("a", 1)
+        q.offer("b", 2)
+        assert sorted(q.drain()) == [1, 2]
+        assert q.depth() == 0
