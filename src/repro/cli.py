@@ -56,6 +56,7 @@ from repro.viz import render_chip
 
 _SOLVERS = ("auto", "highs", "branch_bound", "greedy")
 _SOLVER_MODES = ("ladder", "race")
+_PRESOLVE = ("on", "off")
 
 _METHODS = {
     "pdw": lambda synth, cfg, cache: optimize_washes(synth, cfg, cache=cache),
@@ -120,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver-mode", choices=_SOLVER_MODES, default="ladder",
         help="serial degradation ladder (default) or concurrent rung race",
     )
+    p_run.add_argument(
+        "--presolve", choices=_PRESOLVE, default="on",
+        help="ILP model-reduction layer (default on; plans are byte-identical either way)",
+    )
     p_run.add_argument("--gantt", action="store_true", help="print the schedule chart")
     p_run.add_argument("--chip", action="store_true", help="print the chip layout")
     p_run.add_argument(
@@ -140,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_assay.add_argument("--time-limit", type=float, default=120.0)
     p_assay.add_argument("--solver", choices=_SOLVERS, default="auto")
     p_assay.add_argument("--solver-mode", choices=_SOLVER_MODES, default="ladder")
+    p_assay.add_argument("--presolve", choices=_PRESOLVE, default="on")
     p_assay.add_argument("--gantt", action="store_true")
     p_assay.add_argument("--chip", action="store_true")
     p_assay.add_argument("--stats", action="store_true")
@@ -182,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument(
         "--solver-mode", choices=_SOLVER_MODES, default="ladder",
         help="serial degradation ladder (default) or concurrent rung race",
+    )
+    p_suite.add_argument(
+        "--presolve", choices=_PRESOLVE, default="on",
+        help="ILP model-reduction layer (default on; plans are byte-identical either way)",
     )
     p_suite.add_argument(
         "--timeout", type=float, default=600.0,
@@ -230,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--solver-mode", choices=_SOLVER_MODES, default="ladder",
         help="serial degradation ladder (default) or concurrent rung race",
+    )
+    p_bench.add_argument(
+        "--presolve", choices=_PRESOLVE, default="on",
+        help="ILP model-reduction layer (default on; plans are byte-identical either way)",
     )
     p_bench.add_argument(
         "--iterations", type=int, default=perf.DEFAULT_ITERATIONS,
@@ -403,6 +417,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         time_limit_s=args.time_limit,
         solver=getattr(args, "solver", "auto"),
         solver_mode=getattr(args, "solver_mode", "ladder"),
+        presolve=getattr(args, "presolve", "on"),
         degrade=degrade,
     )
 
@@ -440,6 +455,7 @@ def _run_suite_cmd(args: argparse.Namespace) -> int:
     config = PDWConfig(
         time_limit_s=args.time_limit,
         solver_mode=getattr(args, "solver_mode", "ladder"),
+        presolve=getattr(args, "presolve", "on"),
     )
     budget = RunBudget(
         timeout_s=args.timeout,
@@ -531,6 +547,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     config = PDWConfig(
         time_limit_s=args.time_limit,
         solver_mode=getattr(args, "solver_mode", "ladder"),
+        presolve=getattr(args, "presolve", "on"),
     )
     result = perf.run_bench(
         names=args.benchmarks or None,

@@ -69,6 +69,17 @@ class PDWConfig:
         incumbent under a deterministic grace-window rule, cancelling the
         losers (``REPRO_SOLVER_MODE`` overrides ``"ladder"`` from the
         environment; see DESIGN.md).
+    presolve:
+        Whether the solver-independent model-reduction layer runs before
+        the scheduling ILP is built.  ``"on"`` (default) tightens
+        variable bounds via longest-path propagation over the fixed
+        baseline precedence DAG, fixes ordering binaries whose time
+        windows provably cannot overlap, tightens every big-M
+        coefficient per row and drops dominated wash-path candidates —
+        the reduced model provably preserves the optimal objective and
+        produces byte-identical canonical plans.  ``"off"`` emits the
+        raw constraint system (``REPRO_PRESOLVE`` overrides ``"on"``
+        from the environment; see DESIGN.md §16).
     pathgen_workers:
         Thread-pool width for per-cluster candidate-path generation.
         ``0`` (default) defers to the ``REPRO_PATHGEN_WORKERS``
@@ -99,6 +110,7 @@ class PDWConfig:
     integration_window_s: float = 10.0
     solver: str = "auto"
     solver_mode: str = "ladder"
+    presolve: str = "on"
     pathgen_workers: int = 0
     degrade: str = ""
 
@@ -119,6 +131,8 @@ class PDWConfig:
             raise WashError(f"unknown solver {self.solver!r}")
         if self.solver_mode not in ("ladder", "race"):
             raise WashError(f"unknown solver mode {self.solver_mode!r}")
+        if self.presolve not in ("on", "off"):
+            raise WashError(f"unknown presolve setting {self.presolve!r}")
         if self.pathgen_workers < 0:
             raise WashError("pathgen workers must be >= 0 (0 = env/serial)")
         if self.degrade:

@@ -36,6 +36,13 @@ class MonolithicWashIlp(WashScheduleIlp):
     contamination-safe (see module docstring).
     """
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Presolve reasons over the *fixed* baseline order and the
+        # baseline-start lower bounds; both are relaxed here, so every
+        # deduction it makes would be unsound for this model.
+        self.presolve_enabled = False
+
     def build(self) -> None:
         super().build()
         # Free ordering also removes the baseline-start lower bounds the
@@ -43,7 +50,7 @@ class MonolithicWashIlp(WashScheduleIlp):
         for task in self.tasks:
             self._t[task.id].lb = 0.0
 
-    def _add_baseline_order(self) -> None:  # overrides the fixed-order pass
+    def _add_baseline_order(self, emitted: set) -> None:  # overrides the fixed-order pass
         m = self.model
         ordered = sorted(self.tasks, key=lambda t: (t.start, t.end, t.id))
         structural = self._structural_pairs()

@@ -125,20 +125,39 @@ def record_ilp_rows(run: PipelineRun, outcome) -> None:
     ``pdw.ilp.build`` in merged reports and ``pdw bench``); when the ILP
     stage artifact came from the cache the stored build time belongs to an
     earlier process, so no row is recorded — the value still surfaces
-    through the stage's ``build_time_s`` counter.  Each solver-ladder rung
+    through the stage's ``build_time_s`` counter.  ``ilp.presolve``
+    (surfacing as ``pdw.ilp.presolve``) records the model-reduction pass
+    with its fixed/dropped counters under the same cache gating, and
+    ``ilp.decompose`` records the component-split solve whenever the
+    interaction graph actually separated (components > 1).  Each solver-ladder rung
     attempt then gets its own ``ilp.rung.<rung>`` record, and a raced
     solve adds one ``ilp.race`` record for the whole concurrent race
     (surfacing as the ``pdw.ilp.race`` bench series).  Shared by the
     serial orchestrator above and the suite DAG executor's ILP node.
     """
-    if outcome.build_time_s:
-        last = run.report.stages[-1] if run.report.stages else None
-        if not (last is not None and last.stage == "ilp" and last.cached):
-            run.report.record(
-                "ilp.build",
-                wall_s=outcome.build_time_s,
-                detail=outcome.model_stats,
-            )
+    last = run.report.stages[-1] if run.report.stages else None
+    cached = last is not None and last.stage == "ilp" and last.cached
+    if getattr(outcome, "presolve_time_s", 0.0) and not cached:
+        run.report.record(
+            "ilp.presolve",
+            wall_s=outcome.presolve_time_s,
+            counters={
+                "fixed_binaries": float(outcome.presolve_fixed_binaries),
+                "dropped_constraints": float(outcome.presolve_dropped_constraints),
+                "dropped_candidates": float(outcome.presolve_dropped_candidates),
+            },
+            detail=(
+                f"fixed {outcome.presolve_fixed_binaries} binaries, dropped "
+                f"{outcome.presolve_dropped_constraints} rows, "
+                f"{outcome.presolve_dropped_candidates} candidates"
+            ),
+        )
+    if outcome.build_time_s and not cached:
+        run.report.record(
+            "ilp.build",
+            wall_s=outcome.build_time_s,
+            detail=outcome.model_stats,
+        )
     for att in outcome.attempts:
         counters = {}
         if att.mip_gap is not None:
@@ -157,6 +176,13 @@ def record_ilp_rows(run: PipelineRun, outcome) -> None:
             wall_s=outcome.race_wall_s,
             counters={"rungs": float(len(outcome.attempts))},
             detail=f"winner: {outcome.rung}",
+        )
+    if getattr(outcome, "components", 0) > 1 and outcome.decompose_wall_s:
+        run.report.record(
+            "ilp.decompose",
+            wall_s=outcome.decompose_wall_s,
+            counters={"components": float(outcome.components)},
+            detail=f"{outcome.components} components via {outcome.rung}",
         )
 
 

@@ -393,6 +393,14 @@ _MODEL_MEMO = incremental.ModelMemo(capacity=4)
 class ScheduleIlpStage(StageBase):
     """Build and solve the scheduling ILP (Eqs. 1-8, 16-26).
 
+    When ``config.presolve == "on"`` (the default) the model is built
+    through the reduction layer of :mod:`repro.ilp.presolve` — tightened
+    bounds, fixed ordering binaries, per-row big-M values — and the solve
+    first consults :mod:`repro.ilp.decompose`, which splits independent
+    variable components into concurrent child solves when the
+    interaction graph separates.  Both layers provably preserve the
+    optimal objective, so canonical plans are byte-identical either way.
+
     Solving goes through the :class:`~repro.ilp.SolverPortfolio`
     degradation ladder (or the concurrent rung race under
     ``solver_mode="race"``); when every backend rung fails
@@ -409,7 +417,7 @@ class ScheduleIlpStage(StageBase):
     """
 
     name = "ilp"
-    version = "5"
+    version = "6"
     requires = ("clusters", "candidates")
     provides = "outcome"
 
@@ -518,6 +526,19 @@ class ScheduleIlpStage(StageBase):
             stats["mip_gap"] = outcome.mip_gap
         if outcome.solver_mode == "race":
             stats["race_wall_s"] = round(outcome.race_wall_s, 6)
+        if outcome.presolve_time_s > 0 or outcome.presolve_dropped_constraints:
+            stats["presolve_time_s"] = round(outcome.presolve_time_s, 6)
+            stats["presolve_fixed_binaries"] = float(outcome.presolve_fixed_binaries)
+            stats["presolve_dropped_constraints"] = float(
+                outcome.presolve_dropped_constraints
+            )
+            stats["presolve_dropped_candidates"] = float(
+                outcome.presolve_dropped_candidates
+            )
+        if outcome.components:
+            stats["components"] = float(outcome.components)
+        if outcome.solver_mode == "decompose":
+            stats["decompose_wall_s"] = round(outcome.decompose_wall_s, 6)
         return stats
 
     def detail(self, outcome: IlpWashOutcome) -> str:

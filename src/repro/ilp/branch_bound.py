@@ -138,6 +138,17 @@ class BranchAndBoundSolver:
             return Solution(status, solve_time_s=elapsed, message="no incumbent found")
 
         status = SolveStatus.OPTIMAL if not heap else SolveStatus.FEASIBLE
+        gap = None
+        if heap:
+            # Limit-hit: the smallest open relaxation bound is a valid
+            # lower bound (in the minimization space ``c`` lives in) on
+            # any solution still reachable, so the relative distance from
+            # the incumbent to it is an honest optimality gap.
+            remaining = min(node.bound for node in heap)
+            lower = min(remaining, best_obj)
+            if math.isfinite(lower):
+                denom = max(abs(best_obj), 1e-9)
+                gap = max(0.0, (best_obj - lower) / denom)
         values: Dict = {}
         for var in model.variables:
             raw = float(best_x[var.index])
@@ -145,7 +156,7 @@ class BranchAndBoundSolver:
         objective = model.objective.constant + sum(
             coef * values[var] for var, coef in model.objective.terms.items()
         )
-        return Solution(status, objective, values, solve_time_s=elapsed)
+        return Solution(status, objective, values, solve_time_s=elapsed, mip_gap=gap)
 
     # -- internals ----------------------------------------------------------
 

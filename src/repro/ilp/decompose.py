@@ -1,0 +1,494 @@
+"""Independent-component decomposition of a built ILP.
+
+The PDW objective (Eq. 26) is a separable sum, so when the
+variable-interaction graph of the built model — variables as nodes, one
+clique per constraint row — is disconnected, each connected component is
+an independent MILP: solving them separately and concatenating the
+per-component assignments is exactly equivalent to solving the monolith.
+The one shared variable is the makespan ``T_assay``, which every task
+couples to; :func:`try_solve` therefore ignores it while splitting and
+gives each component its *own* local copy of the makespan (same name,
+same bounds, same rows), stitching with ``T = max(local T)`` afterwards.
+
+That stitch is only *certified optimal* when every child proved
+optimality and a combinatorial support bound closes the gap the local
+makespan copies may open (a non-bottleneck component might trade path
+length for a makespan reduction that does not matter globally).  When
+the certificate fails — or a child errors, or the stitched point fails
+:meth:`~repro.ilp.model.Model.check_solution` — :func:`try_solve`
+returns no result and the caller falls back to the monolithic portfolio
+solve, counted in ``pdw_ilp_decompose_fallback_total``.  A fully
+separable model (no makespan coupling, e.g. batched independent
+instances) needs no certificate: child statuses combine directly.
+
+Components solve concurrently through the same fork-preferred subprocess
+machinery as the rung race (:mod:`repro.procutil`), each child running
+the serial portfolio ladder with the full budget; children ship plain
+``{variable name: value}`` data and the parent re-keys against its own
+model, exactly like :mod:`repro.ilp.race`.  Inside a daemonic suite
+worker the children degrade to threads.  The component count is exported
+as the ``pdw_ilp_components`` gauge either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LadderExhausted
+from repro.ilp import incremental
+from repro.ilp.model import Model
+from repro.ilp.race import RUNG_PRIORITY
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.expr import LinExpr, Variable, VarType
+from repro.obs import metrics as obs_metrics
+from repro.procutil import MP, in_daemon_process, reap, safe_send, terminate
+
+#: Numeric slack of the stitch-optimality certificate.
+_CERT_TOL = 1e-6
+
+#: Extra seconds the parent waits past the budget for children to report.
+_REAP_MARGIN_S = 5.0
+
+
+@dataclass
+class DecomposeAttempt:
+    """Outcome of one decomposition attempt.
+
+    ``result is None`` means "solve the monolith instead" — either the
+    model is a single component (the common case for the paper's
+    benchmarks) or the decomposed solve could not be certified.
+    """
+
+    result: Optional[object]  # PortfolioResult, or None for fallback
+    components: int
+    reason: str = ""
+    wall_s: float = 0.0
+
+
+def _union_find_components(
+    model: Model, skip: Optional[int]
+) -> Optional[Tuple[List[List[int]], List[List[int]], List[int], bool]]:
+    """Split variables/rows into components, ignoring variable ``skip``.
+
+    Returns ``(var_groups, row_groups, orphans, coupled)`` where the
+    groups are parallel lists ordered by smallest member variable,
+    ``orphans`` are variables appearing in no row, and ``coupled`` says
+    whether any row references ``skip``.  ``None`` when the COO buffers
+    are unavailable or the model has an unsupported shape (a row with no
+    variables, or a row referencing only ``skip``).
+    """
+    arrays = model.constraint_arrays()
+    if arrays is None:
+        return None
+    rows, cols, _vals, _senses, _rhs = arrays
+    n = len(model.variables)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    row_vars: Dict[int, List[int]] = {}
+    coupled = False
+    for r, c in zip(rows, cols):
+        if c == skip:
+            coupled = True
+            continue
+        row_vars.setdefault(r, []).append(c)
+    for r in range(len(model.constraints)):
+        vs = row_vars.get(r)
+        if not vs:
+            # A row with no variables besides (possibly) the makespan:
+            # nothing anchors it to a component.  Unsupported.
+            return None
+        root = find(vs[0])
+        for v in vs[1:]:
+            rv = find(v)
+            if rv != root:
+                parent[rv] = root
+
+    var_groups: Dict[int, List[int]] = {}
+    orphans: List[int] = []
+    seen = {c for vs in row_vars.values() for c in vs}
+    for idx in range(n):
+        if idx == skip:
+            continue
+        if idx not in seen:
+            orphans.append(idx)
+            continue
+        var_groups.setdefault(find(idx), []).append(idx)
+    row_groups: Dict[int, List[int]] = {}
+    for r, vs in row_vars.items():
+        row_groups.setdefault(find(vs[0]), []).append(r)
+
+    order = sorted(var_groups, key=lambda root: var_groups[root][0])
+    return (
+        [sorted(var_groups[root]) for root in order],
+        [sorted(row_groups.get(root, [])) for root in order],
+        orphans,
+        coupled,
+    )
+
+
+def _build_submodel(
+    model: Model, k: int, var_idx: Sequence[int], row_idx: Sequence[int], skip: Optional[int]
+) -> Tuple[Model, bool]:
+    """One component as a standalone model (same names, bounds, rows).
+
+    When a component row references the makespan variable, the submodel
+    gets a local copy of it (same name and bounds).  Returns the model
+    and whether that copy was added.
+    """
+    sub = Model(f"{model.name}:c{k}", big_m=model.big_m)
+    local: Dict[int, Variable] = {}
+    for idx in var_idx:
+        v = model.variables[idx]
+        local[idx] = sub.add_var(v.name, v.lb, v.ub, v.vtype)
+    needs_t = skip is not None and any(
+        skip in (var.index for var in model.constraints[r].expr.terms)
+        for r in row_idx
+    )
+    if needs_t:
+        t = model.variables[skip]
+        local[skip] = sub.add_var(t.name, t.lb, t.ub, t.vtype)
+    for r in row_idx:
+        constr = model.constraints[r]
+        sub.add_linear_constraint(
+            [(local[var.index], coef) for var, coef in constr.expr.terms.items()],
+            constr.sense,
+            -constr.expr.constant,
+            constr.name,
+        )
+    obj_terms = {
+        local[var.index]: coef
+        for var, coef in model.objective.terms.items()
+        if var.index in local
+    }
+    sub.set_objective(LinExpr(obj_terms, 0.0), sense=model.objective_sense)
+    return sub, needs_t
+
+
+def _child_solve(conn, sub: Model, params: dict, inc_map: Optional[dict]) -> None:
+    """Child body: run the serial ladder on one component, ship plain data."""
+    try:
+        incumbent = None
+        if inc_map:
+            incumbent = incremental.adopt_incumbent(sub, inc_map)
+        from repro.ilp.portfolio import SolverPortfolio
+
+        pf = SolverPortfolio(
+            time_limit_s=params["time_limit_s"],
+            mip_gap=params["mip_gap"],
+            force=params["force"],
+            bb_max_nodes=params["bb_max_nodes"],
+            min_rung_budget_s=params["min_rung_budget_s"],
+            mode="ladder",
+            incumbent=incumbent,
+        )
+        result = pf.solve(sub)
+        sol = result.solution
+        safe_send(
+            conn,
+            (
+                "solution",
+                sol.status.value,
+                sol.objective,
+                dict(sol.as_name_map()) if sol.status.has_solution else {},
+                sol.solve_time_s,
+                sol.mip_gap,
+                result.rung,
+                [
+                    (a.rung, a.status, a.wall_s, a.mip_gap, a.objective, a.message)
+                    for a in result.attempts
+                ],
+            ),
+        )
+    except LadderExhausted as exc:
+        safe_send(
+            conn,
+            (
+                "exhausted",
+                [
+                    (a.rung, a.status, a.wall_s, a.mip_gap, a.objective, a.message)
+                    for a in getattr(exc, "attempts", ())
+                ],
+            ),
+        )
+    except BaseException as exc:  # noqa: BLE001 — a child must always report
+        safe_send(conn, ("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        try:
+            conn.close()
+        except (OSError, AttributeError):
+            pass
+
+
+class _Box:
+    """In-process stand-in for a pipe end (thread fallback)."""
+
+    def __init__(self) -> None:
+        self.payload: Optional[tuple] = None
+        self._lock = threading.Lock()
+
+    def send(self, payload: tuple) -> None:
+        with self._lock:
+            self.payload = payload
+
+    def close(self) -> None:
+        pass
+
+
+def _solve_children(
+    subs: Sequence[Model], params: dict, inc_map: Optional[dict], deadline: float
+) -> List[Optional[tuple]]:
+    """Solve every component concurrently; one payload (or None) each."""
+    if MP is not None and not in_daemon_process():
+        workers = []
+        for sub in subs:
+            parent_conn, child_conn = MP.Pipe(duplex=False)
+            proc = MP.Process(
+                target=_child_solve, args=(child_conn, sub, params, inc_map), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            workers.append((parent_conn, proc))
+        payloads: List[Optional[tuple]] = []
+        for parent_conn, proc in workers:
+            remaining = max(0.0, deadline - time.perf_counter())
+            payload: Optional[tuple] = None
+            try:
+                if parent_conn.poll(remaining):
+                    payload = parent_conn.recv()
+            except (EOFError, OSError):
+                payload = None
+            payloads.append(payload)
+        for parent_conn, proc in workers:
+            terminate(proc)
+            reap(proc)
+            try:
+                parent_conn.close()
+            except OSError:
+                pass
+        return payloads
+
+    # Daemonic worker (or no multiprocessing): degrade to threads.
+    boxes = [_Box() for _ in subs]
+    threads = [
+        threading.Thread(
+            target=_child_solve, args=(box, sub, params, inc_map), daemon=True
+        )
+        for box, sub in zip(boxes, subs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=max(0.0, deadline - time.perf_counter()) + _REAP_MARGIN_S)
+    return [box.payload for box in boxes]
+
+
+def _support_lower_bound(sub: Model, t_name: Optional[str]) -> float:
+    """Combinatorial lower bound of the sub-objective *excluding* its
+    makespan term, from GUB rows (``sum of binaries == 1``) and variable
+    bounds alone.  Valid for any point satisfying the sub's constraints.
+    """
+    obj = {var: coef for var, coef in sub.objective.terms.items()}
+    t_var = next((v for v in sub.variables if v.name == t_name), None)
+    used: set = set()
+    bound = 0.0
+    for constr in sub.constraints:
+        if constr.sense != "==" or constr.expr.constant != -1.0:
+            continue
+        members = list(constr.expr.terms)
+        if t_var is not None and t_var in members:
+            continue
+        if any(
+            coef != 1.0
+            or var.vtype is not VarType.BINARY
+            or var.lb != 0.0
+            or var.ub != 1.0
+            or var in used
+            for var, coef in constr.expr.terms.items()
+        ):
+            continue
+        bound += min(obj.get(var, 0.0) for var in members)
+        used.update(members)
+    for var in sub.variables:
+        if var is t_var or var in used:
+            continue
+        coef = obj.get(var, 0.0)
+        if coef == 0.0:
+            continue
+        bound += coef * (var.lb if coef > 0.0 else var.ub)
+    return bound
+
+
+def try_solve(model: Model, portfolio, makespan_var: Optional[Variable] = None):
+    """Attempt a decomposed solve; ``result=None`` means fall back.
+
+    ``portfolio`` supplies the per-child budgets/knobs (each child runs
+    the serial ladder with the *full* budget — components overlap in
+    wall-clock, which is the point).  ``makespan_var`` is excluded from
+    the interaction graph and stitched as the max of the local copies.
+    """
+    from repro.ilp.portfolio import PortfolioResult, RungAttempt
+
+    started = time.perf_counter()
+    reg = obs_metrics.registry()
+
+    def fallback(ncomp: int, reason: str) -> DecomposeAttempt:
+        if ncomp > 1:
+            reg.counter("pdw_ilp_decompose_fallback_total", reason=reason).inc()
+        return DecomposeAttempt(
+            None, ncomp, reason, wall_s=time.perf_counter() - started
+        )
+
+    if getattr(portfolio, "force", None) == "greedy":
+        return fallback(1, "forced-greedy")
+    skip = makespan_var.index if makespan_var is not None else None
+    split = _union_find_components(model, skip)
+    if split is None:
+        return fallback(1, "unsupported-structure")
+    var_groups, row_groups, orphans, coupled = split
+    ncomp = len(var_groups)
+    reg.gauge("pdw_ilp_components").set(float(max(1, ncomp)))
+    if ncomp <= 1:
+        return fallback(max(1, ncomp), "single-component")
+    if coupled and model.objective_sense != "min":
+        return fallback(ncomp, "unsupported-sense")
+
+    built = [
+        _build_submodel(model, k, vg, rg, skip)
+        for k, (vg, rg) in enumerate(zip(var_groups, row_groups))
+    ]
+    subs = [sub for sub, _ in built]
+    has_t = [needs_t for _, needs_t in built]
+    if coupled and not any(has_t):
+        return fallback(ncomp, "unsupported-structure")
+
+    params = {
+        "time_limit_s": portfolio.time_limit_s,
+        "mip_gap": portfolio.mip_gap,
+        "force": portfolio.force,
+        "bb_max_nodes": portfolio.bb_max_nodes,
+        "min_rung_budget_s": portfolio.min_rung_budget_s,
+    }
+    inc_map = (
+        dict(portfolio.incumbent.as_name_map())
+        if getattr(portfolio, "incumbent", None) is not None
+        else None
+    )
+    deadline = started + portfolio.time_limit_s + _REAP_MARGIN_S
+    payloads = _solve_children(subs, params, inc_map, deadline)
+
+    attempts: List[RungAttempt] = []
+    statuses: List[SolveStatus] = []
+    objectives: List[float] = []
+    name_maps: List[Dict[str, float]] = []
+    rungs: List[str] = []
+    gaps: List[Optional[float]] = []
+    solve_time = 0.0
+    for k, payload in enumerate(payloads):
+        if payload is None:
+            return fallback(ncomp, "child-timeout")
+        kind = payload[0]
+        if kind == "exhausted":
+            attempts.extend(RungAttempt(*row) for row in payload[1])
+            return fallback(ncomp, "child-exhausted")
+        if kind != "solution":
+            return fallback(ncomp, "child-error")
+        _, status_value, objective, name_map, child_time, gap, rung, attempt_rows = payload
+        status = SolveStatus(status_value)
+        attempts.extend(RungAttempt(*row) for row in attempt_rows)
+        if status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
+            # A broken component proves the monolith broken too.
+            solution = Solution(status, message=f"component {subs[k].name}")
+            return DecomposeAttempt(
+                PortfolioResult(solution, rung, tuple(attempts), mode="decompose"),
+                ncomp,
+                "component-" + status.value,
+                wall_s=time.perf_counter() - started,
+            )
+        if not status.has_solution:
+            return fallback(ncomp, "child-failed")
+        statuses.append(status)
+        objectives.append(float(objective))
+        name_maps.append(dict(name_map))
+        rungs.append(rung)
+        gaps.append(gap)
+        solve_time = max(solve_time, float(child_time))
+
+    # -- stitch ----------------------------------------------------------
+    t_name = model.variables[skip].name if skip is not None else None
+    values: Dict[Variable, float] = {}
+    t_hat = model.variables[skip].lb if skip is not None else 0.0
+    for k, name_map in enumerate(name_maps):
+        if t_name is not None and t_name in name_map:
+            t_hat = max(t_hat, float(name_map[t_name]))
+        for idx in var_groups[k]:
+            var = model.variables[idx]
+            if var.name not in name_map:
+                return fallback(ncomp, "missing-variable")
+            values[var] = float(name_map[var.name])
+    for idx in orphans:
+        var = model.variables[idx]
+        coef = model.objective.terms.get(var, 0.0)
+        if model.objective_sense == "max":
+            coef = -coef
+        best = var.lb if coef >= 0.0 else var.ub
+        if best in (float("inf"), float("-inf")):
+            return fallback(ncomp, "unbounded-orphan")
+        values[var] = best
+    if skip is not None:
+        values[model.variables[skip]] = t_hat
+
+    objective_value = model.objective.constant + sum(
+        coef * values[var] for var, coef in model.objective.terms.items()
+    )
+    stitched = Solution(
+        SolveStatus.FEASIBLE,
+        objective=objective_value,
+        values=values,
+        solve_time_s=solve_time,
+    )
+    if model.check_solution(stitched, tol=1e-5):
+        return fallback(ncomp, "stitch-violation")
+
+    all_optimal = all(s is SolveStatus.OPTIMAL for s in statuses)
+    if coupled:
+        # The local makespan copies may have let a non-bottleneck
+        # component pay objective for a makespan cut that does not matter
+        # globally; certify optimality with a support bound, else punt.
+        if not all_optimal:
+            return fallback(ncomp, "uncertified-feasible")
+        tcoef = model.objective.terms.get(model.variables[skip], 0.0)
+        g_total = 0.0
+        flbs = []
+        for k in range(ncomp):
+            t_k = float(name_maps[k].get(t_name, 0.0)) if has_t[k] else 0.0
+            g_total += objectives[k] - tcoef * t_k
+            flbs.append(_support_lower_bound(subs[k], t_name if has_t[k] else None))
+        upper = g_total + tcoef * t_hat
+        flb_sum = sum(flbs)
+        lower = max(
+            objectives[k] + flb_sum - flbs[k] for k in range(ncomp)
+        )
+        if upper > lower + _CERT_TOL:
+            return fallback(ncomp, "certificate-gap")
+        stitched.status = SolveStatus.OPTIMAL
+    elif all_optimal:
+        stitched.status = SolveStatus.OPTIMAL
+    if stitched.status is not SolveStatus.OPTIMAL:
+        stitched.mip_gap = max((g for g in gaps if g is not None), default=None)
+
+    worst_rung = max(rungs, key=lambda r: RUNG_PRIORITY.get(r, len(RUNG_PRIORITY)))
+    return DecomposeAttempt(
+        PortfolioResult(stitched, worst_rung, tuple(attempts), mode="decompose"),
+        ncomp,
+        "stitched",
+        wall_s=time.perf_counter() - started,
+    )

@@ -56,9 +56,14 @@ ENV_FORCE = "REPRO_FORCE_SOLVER"
 ENV_SEED = "REPRO_FAULT_SEED"
 #: Environment variable selecting the portfolio execution mode.
 ENV_MODE = "REPRO_SOLVER_MODE"
+#: Environment variable toggling ILP model reduction (presolve + decompose).
+ENV_PRESOLVE = "REPRO_PRESOLVE"
 
 #: Valid ``REPRO_SOLVER_MODE`` / ``PDWConfig.solver_mode`` values.
 MODE_CHOICES = ("ladder", "race")
+
+#: Valid ``REPRO_PRESOLVE`` / ``PDWConfig.presolve`` values.
+PRESOLVE_CHOICES = ("on", "off")
 
 #: Rungs the injected faults apply to (the primary backend's attempts).
 FAULT_TARGET_RUNGS = ("highs", "highs-relaxed")
@@ -143,6 +148,31 @@ def resolve_solver_mode(config_mode: str = "ladder") -> str:
     return env_solver_mode() or config_mode
 
 
+def env_presolve() -> Optional[str]:
+    """The presolve toggle from ``REPRO_PRESOLVE``, or ``None``."""
+    raw = os.environ.get(ENV_PRESOLVE, "").strip()
+    if not raw:
+        return None
+    if raw not in PRESOLVE_CHOICES:
+        raise SolverError(
+            f"unknown {ENV_PRESOLVE} value {raw!r}; expected one of {PRESOLVE_CHOICES}"
+        )
+    return raw
+
+
+def resolve_presolve(config_presolve: str = "on") -> str:
+    """Effective presolve toggle: config wins unless left at the default.
+
+    Same convention as :func:`resolve_solver_mode` — an explicit
+    ``PDWConfig.presolve`` (or ``--presolve``) beats the environment;
+    ``REPRO_PRESOLVE`` only overrides the ``"on"`` default, so a suite can
+    be flipped to raw models without touching configs.
+    """
+    if config_presolve != "on":
+        return config_presolve
+    return env_presolve() or config_presolve
+
+
 def environment_token() -> str:
     """Cache-key token covering the solver-altering environment.
 
@@ -150,14 +180,18 @@ def environment_token() -> str:
     no variable is set.  ``REPRO_SOLVER_MODE`` is covered because a raced
     solve may legitimately select a different rung's incumbent than the
     serial ladder would, and that outcome must not masquerade as the
-    ladder's in any solve-covering cache.
+    ladder's in any solve-covering cache.  ``REPRO_PRESOLVE`` is covered
+    for the same reason: presolved and raw models are meant to agree, but
+    that equivalence is an invariant under test, not an assumption caches
+    may bake in — presolved and raw artifacts must never collide.
     """
     fault = os.environ.get(ENV_FAULT, "").strip()
     force = os.environ.get(ENV_FORCE, "").strip()
     mode = os.environ.get(ENV_MODE, "").strip()
-    if not fault and not force and not mode:
+    presolve = os.environ.get(ENV_PRESOLVE, "").strip()
+    if not fault and not force and not mode and not presolve:
         return ""
-    return f"fault={fault};force={force};mode={mode}"
+    return f"fault={fault};force={force};mode={mode};presolve={presolve}"
 
 
 def reset() -> None:

@@ -79,6 +79,9 @@ def structure_key(synthesis_digest: str, config: Any) -> Tuple:
         # The degradation token reshapes clusters and candidate pools, so
         # repaired/degraded incumbents never collide with healthy ones.
         getattr(config, "degrade", ""),
+        # Presolve reshapes variable bounds and the candidate pool, so
+        # reduced and raw structures must never share an incumbent slot.
+        faults.resolve_presolve(getattr(config, "presolve", "on")),
         faults.environment_token(),
     )
 
@@ -138,8 +141,9 @@ def adopt_incumbent(model: Model, values_by_name: Mapping[str, float]) -> Option
     under the model's *current* weights) suitable for priming the
     branch-and-bound rung — or ``None`` when the assignment does not
     cover every variable (a candidate delta changed the variable set) or
-    violates any constraint (it was never a feasible point of this
-    structure).  Rejection is always safe: the solve proceeds cold.
+    violates any variable bound or constraint (it was never a feasible
+    point of this structure — presolve may have tightened bounds since).
+    Rejection is always safe: the solve proceeds cold.
     """
     values: Dict = {}
     for var in model.variables:
@@ -147,7 +151,11 @@ def adopt_incumbent(model: Model, values_by_name: Mapping[str, float]) -> Option
         if stored is None:
             observe("rejected")
             return None
-        values[var] = float(stored)
+        value = float(stored)
+        if value < var.lb - ADOPT_TOL or value > var.ub + ADOPT_TOL:
+            observe("rejected")
+            return None
+        values[var] = value
     candidate = Solution(SolveStatus.FEASIBLE, values=values)
     if model.check_solution(candidate, tol=ADOPT_TOL):
         observe("rejected")

@@ -42,7 +42,13 @@ DEFAULT_ITERATIONS = 3
 
 #: Stage/rung series gated by ``--compare`` (per benchmark).  ``wall_s``
 #: is the whole cold run; the others are RunReport stage names.
-DEFAULT_HOT_PATHS = ("wall_s", "pdw.ilp", "pdw.pathgen", "pdw.ilp.build")
+DEFAULT_HOT_PATHS = (
+    "wall_s",
+    "pdw.ilp",
+    "pdw.pathgen",
+    "pdw.ilp.build",
+    "pdw.ilp.presolve",
+)
 
 #: The single benchmark + one iteration used by ``pdw bench --quick``
 #: (the smallest Table II assay, |O| = 4).

@@ -36,13 +36,16 @@ class TestPdwCacheEquivalence:
     def test_report_exposes_all_stages(self, demo_synthesis, cache):
         plan = optimize_washes(demo_synthesis, PDWConfig(time_limit_s=30.0), cache=cache)
         names = plan.report.stage_names()
-        # Model-build and solver-ladder rung records ride along after the
-        # ilp stage.
+        # Presolve, model-build and solver-ladder rung records ride along
+        # after the ilp stage.
         assert [
-            n for n in names if not n.startswith(("ilp.rung.", "ilp.build"))
+            n
+            for n in names
+            if not n.startswith(("ilp.rung.", "ilp.build", "ilp.presolve"))
         ] == PDW_STAGES
         assert any(n.startswith("ilp.rung.") for n in names)
         assert "ilp.build" in names
+        assert "ilp.presolve" in names
         ilp = plan.report.get("ilp")
         for stat in (
             "solve_time_s",

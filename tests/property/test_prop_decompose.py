@@ -1,0 +1,89 @@
+"""Property tests: component decomposition equals the monolithic solve.
+
+Random separable MILPs (disjoint variable blocks, chained rows inside
+each block) must split into exactly one component per block, solve to the
+monolith's optimum, and produce the same component count no matter which
+child-execution path (subprocess or thread fallback) runs them.
+"""
+
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import LinExpr, Model, SolveStatus, SolverPortfolio
+from repro.ilp import decompose
+
+small_int = st.integers(min_value=-4, max_value=4)
+
+
+@st.composite
+def separable_milp(draw):
+    """A model of 2-3 disjoint blocks, each internally chained.
+
+    Chaining (one row per adjacent variable pair) guarantees each block
+    is exactly one connected component, so the expected component count
+    is known by construction.
+    """
+    n_blocks = draw(st.integers(min_value=2, max_value=3))
+    m = Model("sep", big_m=1000)
+    obj_terms = {}
+    for b in range(n_blocks):
+        n_vars = draw(st.integers(min_value=1, max_value=3))
+        vs = []
+        for i in range(n_vars):
+            kind = draw(st.sampled_from(["int", "bin"]))
+            name = f"b{b}v{i}"
+            if kind == "bin":
+                vs.append(m.add_binary_var(name))
+            else:
+                vs.append(m.add_integer_var(name, 0, 6))
+        # Anchor every variable in a row: a >= row for the block head,
+        # then one chaining row per adjacent pair.
+        m.add_constr(LinExpr.from_any(vs[0]) >= draw(st.integers(0, 1)))
+        for a, c in zip(vs, vs[1:]):
+            rhs = draw(st.integers(min_value=1, max_value=8))
+            m.add_constr(a + c <= rhs)
+        for v in vs:
+            coef = draw(small_int)
+            if coef:
+                obj_terms[v] = float(coef)
+    m.set_objective(LinExpr(obj_terms, 0.0), sense="min")
+    return m, n_blocks
+
+
+@given(separable_milp())
+@settings(max_examples=15, deadline=None)
+def test_decomposed_solve_matches_monolith(case):
+    model, n_blocks = case
+    att = decompose.try_solve(model, SolverPortfolio(time_limit_s=15.0))
+    assert att.components == n_blocks
+    assert att.result is not None, att.reason
+    sol = att.result.solution
+    mono = model.solve(time_limit_s=10)
+    assert sol.status is SolveStatus.OPTIMAL
+    assert mono.status is SolveStatus.OPTIMAL
+    assert sol.objective == pytest.approx(mono.objective, abs=1e-5)
+    assert model.check_solution(sol, tol=1e-5) == []
+    assert att.result.mode == "decompose"
+
+
+@given(separable_milp())
+@settings(max_examples=6, deadline=None)
+def test_component_count_deterministic_across_worker_paths(case):
+    """Process children and the daemonic thread fallback agree exactly."""
+    model, n_blocks = case
+    pf = SolverPortfolio(time_limit_s=15.0)
+    via_procs = decompose.try_solve(model, pf)
+    with mock.patch.object(decompose, "in_daemon_process", return_value=True):
+        via_threads = decompose.try_solve(model, pf)
+    assert via_procs.components == via_threads.components == n_blocks
+    assert (via_procs.result is None) == (via_threads.result is None)
+    if via_procs.result is not None:
+        assert via_procs.result.solution.objective == pytest.approx(
+            via_threads.result.solution.objective, abs=1e-5
+        )
+    # And repeated runs on the same path are stable too.
+    again = decompose.try_solve(model, pf)
+    assert again.components == via_procs.components

@@ -1,0 +1,150 @@
+"""Property tests: the presolve reduction layer is invisible in results.
+
+The reduced model must reach the same optimal objective as the raw one
+and its schedules must satisfy the same contamination-window semantics —
+on randomized micro-instances, not just the shipped benchmarks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ChipBuilder, DeviceKind
+from repro.contam.events import WashRequirement
+from repro.core.config import PDWConfig
+from repro.core.schedule_ilp import WashScheduleIlp
+from repro.core.targets import WashCluster
+from repro.ilp import SolveStatus
+from repro.schedule import Schedule, ScheduledTask, TaskKind
+
+
+def _chip():
+    builder = ChipBuilder("micro")
+    builder.add_flow_port("in1").add_flow_port("in2")
+    builder.add_waste_port("out1")
+    builder.add_device("mixer", DeviceKind.MIXER)
+    builder.add_junctions("a", "b", "c")
+    builder.connect("in1", "a", "b", "out1")
+    builder.connect("in2", "c", "b")
+    builder.add_channel("a", "mixer")
+    return builder.build()
+
+
+CHIP = _chip()
+
+PATHS = (
+    ("in1", "a", "b", "out1"),
+    ("in2", "c", "b", "a", "b", "out1"),
+    ("in1", "a", "b", "c", "b", "out1"),
+)
+
+
+@st.composite
+def random_instance(draw):
+    """A randomized single-node wash micro-instance.
+
+    The baseline chain (transport -> removal -> op, then a later blocking
+    transport) is the smallest shape that exercises every presolve rule:
+    precedence bound propagation, window-disjoint binary fixing, big-M
+    tightening and candidate domination.
+    """
+    d_tr = draw(st.integers(min_value=1, max_value=4))
+    d_rm = draw(st.integers(min_value=1, max_value=4))
+    d_op = draw(st.integers(min_value=1, max_value=5))
+    gap = draw(st.integers(min_value=0, max_value=12))
+    t0 = d_tr
+    t1 = t0 + d_rm
+    t2 = t1 + d_op + gap
+    baseline = Schedule([
+        ScheduledTask(
+            id="tr:r1->o1", kind=TaskKind.TRANSPORT, start=0, duration=d_tr,
+            path=("in1", "a", "mixer"), edge=("r1", "o1"), fluid_type="dye",
+        ),
+        ScheduledTask(
+            id="rm:r1->o1", kind=TaskKind.REMOVAL, start=t0, duration=d_rm,
+            path=("in1", "a", "b", "out1"), edge=("r1", "o1"),
+            fluid_type="dye",
+        ),
+        ScheduledTask(
+            id="op:o1", kind=TaskKind.OPERATION, start=t1, duration=d_op,
+            device="mixer", op_id="o1", fluid_type="mix-out",
+        ),
+        ScheduledTask(
+            id="tr:r2->o2", kind=TaskKind.TRANSPORT, start=t2, duration=2,
+            path=("in2", "c", "b"), edge=("r2", "o2"), fluid_type="ink",
+        ),
+    ])
+    clusters = [
+        WashCluster("w1", [
+            WashRequirement(
+                node="a", fluid_type="dye", contaminated_at=t1, deadline=t2,
+                source_task="rm:r1->o1", blocking_task="tr:r2->o2",
+            )
+        ])
+    ]
+    n_cands = draw(st.integers(min_value=1, max_value=len(PATHS)))
+    candidates = {"w1": list(draw(st.permutations(PATHS))[:n_cands])}
+    config = PDWConfig(
+        alpha=draw(st.sampled_from([0.1, 0.3, 1.0])),
+        beta=draw(st.sampled_from([0.1, 0.3])),
+        gamma=draw(st.sampled_from([0.1, 0.4])),
+        time_limit_s=20.0,
+        enable_integration=draw(st.booleans()),
+    )
+    return baseline, clusters, candidates, config
+
+
+def _solve(presolve, baseline, clusters, candidates, config):
+    import dataclasses
+
+    cfg = dataclasses.replace(config, presolve=presolve)
+    ilp = WashScheduleIlp(CHIP, baseline, clusters, candidates, cfg)
+    return ilp, ilp.solve()
+
+
+def _check_schedule(baseline, clusters, outcome):
+    """The contamination-window semantics every valid schedule obeys."""
+    durations = {t.id: t.duration for t in baseline.tasks()}
+    absorbed = set(outcome.absorbed)
+    for cl in clusters:
+        ws = outcome.wash_starts[cl.id]
+        we = ws + outcome.wash_durations[cl.id]
+        for req in cl.requirements:
+            if req.source_task not in absorbed:
+                assert ws >= outcome.starts[req.source_task] + durations[req.source_task]
+            assert we <= outcome.starts[req.blocking_task]
+    # Baseline precedence: removal after its transport, op after removal
+    # (an absorbed removal's timing folds into the wash instead).
+    s = outcome.starts
+    if "rm:r1->o1" not in absorbed:
+        assert s["rm:r1->o1"] >= s["tr:r1->o1"] + durations["tr:r1->o1"]
+        assert s["op:o1"] >= s["rm:r1->o1"] + durations["rm:r1->o1"]
+
+
+@given(random_instance())
+@settings(max_examples=25, deadline=None)
+def test_presolve_preserves_objective_and_validity(instance):
+    baseline, clusters, candidates, config = instance
+    on_ilp, on = _solve("on", baseline, clusters, candidates, config)
+    off_ilp, off = _solve("off", baseline, clusters, candidates, config)
+    assert on.status is SolveStatus.OPTIMAL
+    assert off.status is SolveStatus.OPTIMAL
+    assert on.objective == pytest.approx(off.objective, abs=1e-5)
+    _check_schedule(baseline, clusters, on)
+    _check_schedule(baseline, clusters, off)
+    # The reduction only ever removes: never more rows/binaries than raw.
+    assert on.n_constraints <= off.n_constraints
+    assert on.n_binaries <= off.n_binaries
+
+
+@given(random_instance())
+@settings(max_examples=10, deadline=None)
+def test_presolved_plans_match_raw_plans(instance):
+    """With the drift tie-break, reduced and raw models agree exactly."""
+    baseline, clusters, candidates, config = instance
+    _, on = _solve("on", baseline, clusters, candidates, config)
+    _, off = _solve("off", baseline, clusters, candidates, config)
+    assert on.starts == off.starts
+    assert on.wash_starts == off.wash_starts
+    assert on.wash_paths == off.wash_paths
+    assert on.absorbed == off.absorbed

@@ -102,6 +102,23 @@ class TestBestEffortStatuses:
         assert sol.status.has_solution
         assert sol.objective == pytest.approx(1.0)
 
+    def test_node_limit_reports_gap_from_heap_bound(self):
+        # On a limit-hit FEASIBLE the open heap's smallest relaxation
+        # bound is the honest lower bound: here the incumbent is 1.0 but
+        # the open node still admits the LP value 1.5 (max-sense, so the
+        # internal minimization bound is -1.5), giving a 50% gap.
+        tight = BranchAndBoundSolver(time_limit_s=20.0, max_nodes=2)
+        sol = tight.solve(self._fractional_binary_model())
+        assert sol.status is SolveStatus.FEASIBLE
+        assert sol.mip_gap == pytest.approx(0.5)
+
+    def test_optimal_solve_has_no_gap(self):
+        sol = BranchAndBoundSolver(time_limit_s=20.0).solve(
+            self._fractional_binary_model()
+        )
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.mip_gap is None
+
     def test_timeout_without_incumbent_is_error(self):
         expired = BranchAndBoundSolver(time_limit_s=0.0)
         sol = expired.solve(self._fractional_binary_model())

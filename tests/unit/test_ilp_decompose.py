@@ -1,0 +1,111 @@
+"""Unit tests for independent-component decomposition and its fallbacks."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, SolveStatus, SolverPortfolio
+from repro.ilp import decompose
+
+
+def _two_block_model():
+    m = Model("sep", big_m=1000)
+    x0 = m.add_integer_var("x0", 0, 10)
+    x1 = m.add_integer_var("x1", 0, 10)
+    m.add_constr(x0 + x1 >= 3)
+    y0 = m.add_binary_var("y0")
+    y1 = m.add_binary_var("y1")
+    m.add_constr(y0 + y1 == 1)
+    m.set_objective(x0 + 2 * x1 + 2 * y0 + 5 * y1, sense="min")
+    return m
+
+
+def _single_block_model():
+    m = Model("mono", big_m=1000)
+    x = m.add_integer_var("x", 0, 10)
+    y = m.add_integer_var("y", 0, 10)
+    m.add_constr(x + y >= 4)
+    m.set_objective(x + 2 * y, sense="min")
+    return m
+
+
+class TestStitch:
+    def test_two_blocks_stitch_to_monolith_optimum(self):
+        m = _two_block_model()
+        att = decompose.try_solve(m, SolverPortfolio(time_limit_s=15.0))
+        assert att.components == 2
+        assert att.reason == "stitched"
+        sol = att.result.solution
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(
+            m.solve(time_limit_s=10).objective, abs=1e-6
+        )
+        assert att.result.mode == "decompose"
+        assert m.check_solution(sol, tol=1e-5) == []
+
+    def test_coupled_makespan_certified_optimal(self):
+        m = Model("coupled", big_m=1000)
+        a = m.add_integer_var("a", 2, 10)
+        b = m.add_integer_var("b", 3, 10)
+        t = m.add_integer_var("T", 0, 100)
+        m.add_constr(LinExpr.from_any(a) >= 2)
+        m.add_constr(LinExpr.from_any(b) >= 3)
+        m.add_constr(t - a >= 0)
+        m.add_constr(t - b >= 0)
+        m.set_objective(a + b + 0.4 * t, sense="min")
+        att = decompose.try_solve(
+            m, SolverPortfolio(time_limit_s=15.0), makespan_var=t
+        )
+        assert att.components == 2
+        assert att.result is not None, att.reason
+        assert att.result.solution.status is SolveStatus.OPTIMAL
+        assert att.result.solution.objective == pytest.approx(
+            m.solve(time_limit_s=10).objective, abs=1e-6
+        )
+
+    def test_infeasible_component_proves_monolith_infeasible(self):
+        m = _two_block_model()
+        z = m.add_binary_var("z")
+        m.add_constr(LinExpr.from_any(z) >= 2)  # unsatisfiable block
+        att = decompose.try_solve(m, SolverPortfolio(time_limit_s=15.0))
+        assert att.components == 3
+        assert att.result is not None
+        assert att.result.solution.status is SolveStatus.INFEASIBLE
+
+
+class TestFallbacks:
+    def test_single_component_falls_back(self):
+        att = decompose.try_solve(
+            _single_block_model(), SolverPortfolio(time_limit_s=15.0)
+        )
+        assert att.result is None
+        assert att.components == 1
+        assert att.reason == "single-component"
+
+    def test_forced_greedy_falls_back(self):
+        att = decompose.try_solve(
+            _two_block_model(),
+            SolverPortfolio(time_limit_s=15.0, force="greedy"),
+        )
+        assert att.result is None
+        assert att.reason == "forced-greedy"
+
+    def test_coupled_max_sense_unsupported(self):
+        m = Model("maxsense", big_m=1000)
+        a = m.add_integer_var("a", 0, 5)
+        b = m.add_integer_var("b", 0, 5)
+        t = m.add_integer_var("T", 0, 100)
+        m.add_constr(t - a >= 0)
+        m.add_constr(t - b >= 0)
+        m.set_objective(a + b - t, sense="max")
+        att = decompose.try_solve(
+            m, SolverPortfolio(time_limit_s=15.0), makespan_var=t
+        )
+        assert att.result is None
+        assert att.reason == "unsupported-sense"
+
+    def test_no_coo_buffers_fall_back(self):
+        m = Model("empty", big_m=1000)
+        m.add_integer_var("x", 0, 5)
+        m.set_objective(LinExpr({}, 0.0), sense="min")
+        att = decompose.try_solve(m, SolverPortfolio(time_limit_s=15.0))
+        assert att.result is None
+        assert att.components == 1

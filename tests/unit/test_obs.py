@@ -245,7 +245,8 @@ class TestGlobalRegistry:
 # ---------------------------------------------------------------------------
 
 
-def _bench_payload(wall=1.0, ilp=0.5, pathgen=0.2, rung=0.4, build=0.1, **over):
+def _bench_payload(wall=1.0, ilp=0.5, pathgen=0.2, rung=0.4, build=0.1,
+                   presolve=0.01, **over):
     payload = {
         "schema": perf.BENCH_SCHEMA,
         "git_sha": "deadbee",
@@ -265,6 +266,10 @@ def _bench_payload(wall=1.0, ilp=0.5, pathgen=0.2, rung=0.4, build=0.1, **over):
                     },
                     "pdw.ilp.build": {
                         "median": build, "p95": build, "samples": [build]
+                    },
+                    "pdw.ilp.presolve": {
+                        "median": presolve, "p95": presolve,
+                        "samples": [presolve],
                     },
                 },
                 "rungs": {"highs": {"median": rung, "p95": rung, "samples": [rung]}},
